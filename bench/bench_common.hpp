@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+
+#include "common/csv.hpp"
+
+/// Shared bench scaffolding: every bench prints the paper-style rows to
+/// stdout and mirrors the series into CSV files under bench_out/ (relative
+/// to the working directory) for plotting.
+namespace gnrfet::bench {
+
+/// bench_out/<name>.csv; creates the directory.
+std::string output_path(const std::string& name);
+
+/// Save and announce a CSV artifact.
+void save_csv(const csv::Table& table, const std::string& name);
+
+/// Section banner.
+void banner(const std::string& title);
+
+/// Number of Monte Carlo samples etc. can be overridden via environment
+/// (e.g. GNRFET_MC_SAMPLES); returns fallback when unset/invalid.
+int env_int(const char* name, int fallback);
+
+}  // namespace gnrfet::bench

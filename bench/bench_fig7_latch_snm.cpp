@@ -1,0 +1,34 @@
+/// Fig. 7 reproduction: latch butterfly curves for the nominal design, a
+/// single affected GNR, and all four GNRs affected by the worst-case
+/// combination (n-FET: N=9 with +q; p-FET: N=18 with -q). The asymmetry
+/// collapses one butterfly eye (SNM -> ~0) and raises latch static power
+/// by >5x in the worst case.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "explore/latch_study.hpp"
+
+using namespace gnrfet;
+
+int main() {
+  bench::banner("Fig. 7: latch SNM under worst-case variations and defects");
+  explore::DesignKit kit;
+  const auto cases = explore::run_latch_study(kit);
+
+  csv::Table curves({"case_id", "v1_V", "v2_V"});
+  double p_nominal = 0.0;
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const auto& c = cases[i];
+    if (i == 0) p_nominal = c.static_power_W;
+    std::printf("%-22s: SNM = %.3f V (lobes %.3f / %.3f), latch Pstat = %.4g uW (%.2fx)\n",
+                c.label, c.snm_V, c.lobe1_V, c.lobe2_V, c.static_power_W * 1e6,
+                c.static_power_W / p_nominal);
+    for (size_t k = 0; k < c.vtc.vin.size(); ++k) {
+      curves.add_row({static_cast<double>(i), c.vtc.vin[k], c.vtc.vout[k]});
+    }
+  }
+  std::printf("(paper: nominal latch has healthy eyes; the worst case collapses one eye to\n"
+              " near-zero SNM and increases static power by >5x)\n");
+  bench::save_csv(curves, "fig7_butterfly_curves");
+  return 0;
+}

@@ -1,0 +1,194 @@
+#include "circuit/elements.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gnrfet::circuit {
+
+namespace {
+
+/// Trapezoidal companion stamp of a charge branch between nodes a and b
+/// with (possibly bias-dependent) capacitance evaluated at the voltage
+/// midpoint. State triplet at `s0`: [q_prev, i_prev, v_prev].
+void stamp_charge_branch(Stamper& st, const TransientContext& ctx, NodeId a, NodeId b,
+                         double c_mid, size_t s0) {
+  if (ctx.dt <= 0.0) return;  // open in DC
+  const auto& prev = *ctx.state_prev;
+  auto& next = *ctx.state_next;
+  const double v = st.v(a) - st.v(b);
+  const double q_prev = prev[s0];
+  const double i_prev = prev[s0 + 1];
+  const double v_prev = prev[s0 + 2];
+  const double q_new = q_prev + c_mid * (v - v_prev);
+  const double i = 2.0 / ctx.dt * (q_new - q_prev) - i_prev;
+  st.add_residual(a, i);
+  st.add_residual(b, -i);
+  const double g = 2.0 * c_mid / ctx.dt;
+  st.add_jacobian(a, a, g);
+  st.add_jacobian(a, b, -g);
+  st.add_jacobian(b, a, -g);
+  st.add_jacobian(b, b, g);
+  next[s0] = q_new;
+  next[s0 + 1] = i;
+  next[s0 + 2] = v;
+}
+
+void init_charge_state(double v_now, size_t s0, std::vector<double>& state) {
+  state[s0] = 0.0;      // charge is tracked incrementally
+  state[s0 + 1] = 0.0;  // steady state: no displacement current
+  state[s0 + 2] = v_now;
+}
+
+double node_voltage(const Circuit& ckt, const std::vector<double>& x, NodeId n) {
+  const ptrdiff_t u = ckt.unknown_of_node(n);
+  return u < 0 ? 0.0 : x[static_cast<size_t>(u)];
+}
+
+}  // namespace
+
+Resistor::Resistor(NodeId a, NodeId b, double ohms) : a_(a), b_(b), g_(1.0 / ohms) {}
+
+void Resistor::stamp(Stamper& st, const TransientContext&) const {
+  const double i = g_ * (st.v(a_) - st.v(b_));
+  st.add_residual(a_, i);
+  st.add_residual(b_, -i);
+  st.add_jacobian(a_, a_, g_);
+  st.add_jacobian(a_, b_, -g_);
+  st.add_jacobian(b_, a_, -g_);
+  st.add_jacobian(b_, b_, g_);
+}
+
+Capacitor::Capacitor(NodeId a, NodeId b, double farads) : a_(a), b_(b), c_(farads) {}
+
+void Capacitor::stamp(Stamper& st, const TransientContext& ctx) const {
+  stamp_charge_branch(st, ctx, a_, b_, c_, state_offset_);
+}
+
+void Capacitor::init_state(const Circuit& ckt, const std::vector<double>& x,
+                           std::vector<double>& state) const {
+  init_charge_state(node_voltage(ckt, x, a_) - node_voltage(ckt, x, b_), state_offset_, state);
+}
+
+VoltageSource::VoltageSource(NodeId plus, NodeId minus, double dc_volts)
+    : p_(plus), m_(minus), dc_(dc_volts) {}
+
+VoltageSource::VoltageSource(NodeId plus, NodeId minus, Waveform waveform)
+    : p_(plus), m_(minus), waveform_(std::move(waveform)) {}
+
+void VoltageSource::stamp(Stamper& st, const TransientContext& ctx) const {
+  const double target = (waveform_ ? waveform_(ctx.time) : dc_) * ctx.source_scale;
+  const double i = st.branch_current(branch_offset_);
+  st.add_residual(p_, i);
+  st.add_residual(m_, -i);
+  st.add_jacobian_node_branch(p_, branch_offset_, 1.0);
+  st.add_jacobian_node_branch(m_, branch_offset_, -1.0);
+  st.add_branch_residual(branch_offset_, st.v(p_) - st.v(m_) - target);
+  st.add_jacobian_branch_node(branch_offset_, p_, 1.0);
+  st.add_jacobian_branch_node(branch_offset_, m_, -1.0);
+}
+
+VoltageSource::Waveform pulse_waveform(double v0, double v1, double t_start, double t_rise) {
+  return [=](double t) {
+    if (t <= t_start) return v0;
+    if (t >= t_start + t_rise) return v1;
+    return v0 + (v1 - v0) * (t - t_start) / t_rise;
+  };
+}
+
+Fet::Fet(model::ExtrinsicFet fet, NodeId d, NodeId g, NodeId s, NodeId d_int, NodeId s_int)
+    : fet_(std::move(fet)), d_(d), g_(g), s_(s), di_(d_int), si_(s_int) {}
+
+void Fet::stamp(Stamper& st, const TransientContext& ctx) const {
+  const auto& par = fet_.parasitics;
+  // Contact resistances.
+  {
+    const double grd = 1.0 / par.rd_ohm;
+    const double i = grd * (st.v(d_) - st.v(di_));
+    st.add_residual(d_, i);
+    st.add_residual(di_, -i);
+    st.add_jacobian(d_, d_, grd);
+    st.add_jacobian(d_, di_, -grd);
+    st.add_jacobian(di_, d_, -grd);
+    st.add_jacobian(di_, di_, grd);
+    const double grs = 1.0 / par.rs_ohm;
+    const double is = grs * (st.v(s_) - st.v(si_));
+    st.add_residual(s_, is);
+    st.add_residual(si_, -is);
+    st.add_jacobian(s_, s_, grs);
+    st.add_jacobian(s_, si_, -grs);
+    st.add_jacobian(si_, s_, -grs);
+    st.add_jacobian(si_, si_, grs);
+  }
+
+  const double vgs = st.v(g_) - st.v(si_);
+  const double vds = st.v(di_) - st.v(si_);
+
+  // Channel current between the internal drain/source nodes.
+  {
+    const model::FetSample cur = fet_.intrinsic->current(vgs, vds);
+    st.add_residual(di_, cur.value);
+    st.add_residual(si_, -cur.value);
+    st.add_jacobian(di_, di_, cur.d_dvds);
+    st.add_jacobian(di_, g_, cur.d_dvgs);
+    st.add_jacobian(di_, si_, -cur.d_dvds - cur.d_dvgs);
+    st.add_jacobian(si_, di_, -cur.d_dvds);
+    st.add_jacobian(si_, g_, -cur.d_dvgs);
+    st.add_jacobian(si_, si_, cur.d_dvds + cur.d_dvgs);
+  }
+
+  // Intrinsic gate capacitances from the Q tables at the voltage midpoint
+  // of the step (Sec. 3: CGD_i = |dQ/dVDS|, CGS_i = |dQ/dVGS| - CGD_i).
+  if (ctx.dt > 0.0) {
+    const auto& prev = *ctx.state_prev;
+    const double vgs_prev = prev[state_offset_ + 2];
+    const double vgd_prev = prev[state_offset_ + 5];
+    const double vgs_mid = 0.5 * (vgs + vgs_prev);
+    const double vds_now = vds;
+    const double vds_prev = vgs_prev - vgd_prev;
+    const double vds_mid = 0.5 * (vds_now + vds_prev);
+    const model::FetSample q = fet_.intrinsic->charge(vgs_mid, vds_mid);
+    const double cgd_i = std::abs(q.d_dvds);
+    const double cgs_i = std::max(0.0, std::abs(q.d_dvgs) - cgd_i);
+    stamp_charge_branch(st, ctx, g_, si_, cgs_i, state_offset_);
+    stamp_charge_branch(st, ctx, g_, di_, cgd_i, state_offset_ + 3);
+  }
+  // Extrinsic junction capacitances at the external terminals.
+  stamp_charge_branch(st, ctx, g_, s_, par.cgs_e_F, state_offset_ + 6);
+  stamp_charge_branch(st, ctx, g_, d_, par.cgd_e_F, state_offset_ + 9);
+}
+
+void Fet::init_state(const Circuit& ckt, const std::vector<double>& x,
+                     std::vector<double>& state) const {
+  const double vg = node_voltage(ckt, x, g_);
+  init_charge_state(vg - node_voltage(ckt, x, si_), state_offset_, state);
+  init_charge_state(vg - node_voltage(ckt, x, di_), state_offset_ + 3, state);
+  init_charge_state(vg - node_voltage(ckt, x, s_), state_offset_ + 6, state);
+  init_charge_state(vg - node_voltage(ckt, x, d_), state_offset_ + 9, state);
+}
+
+InverterGateLoad::InverterGateLoad(model::ExtrinsicFet nfet, model::ExtrinsicFet pfet,
+                                   NodeId node, double vdd)
+    : n_(std::move(nfet)), p_(std::move(pfet)), node_(node), vdd_(vdd) {}
+
+double InverterGateLoad::capacitance(double v) const {
+  const model::FetSample qn = n_.intrinsic->charge(v, vdd_ - v);
+  const model::FetSample qp = p_.intrinsic->charge(v - vdd_, -v);
+  const double cg_n = std::abs(qn.d_dvgs);
+  const double cg_p = std::abs(qp.d_dvgs);
+  return cg_n + cg_p + n_.parasitics.cgs_e_F + n_.parasitics.cgd_e_F + p_.parasitics.cgs_e_F +
+         p_.parasitics.cgd_e_F;
+}
+
+void InverterGateLoad::stamp(Stamper& st, const TransientContext& ctx) const {
+  if (ctx.dt <= 0.0) return;
+  const double v_prev = (*ctx.state_prev)[state_offset_ + 2];
+  const double c = capacitance(0.5 * (st.v(node_) + v_prev));
+  stamp_charge_branch(st, ctx, node_, kGround, c, state_offset_);
+}
+
+void InverterGateLoad::init_state(const Circuit& ckt, const std::vector<double>& x,
+                                  std::vector<double>& state) const {
+  init_charge_state(node_voltage(ckt, x, node_), state_offset_, state);
+}
+
+}  // namespace gnrfet::circuit

@@ -1,0 +1,66 @@
+#pragma once
+
+#include "circuit/netlists.hpp"
+
+/// Waveform post-processing: delays, oscillation frequency, powers, and
+/// the inverter/ring-oscillator figure-of-merit drivers used by the
+/// technology-exploration and variability studies.
+namespace gnrfet::circuit {
+
+/// Times at which `wave` crosses `level` in the given direction (linear
+/// interpolation between samples).
+std::vector<double> crossing_times(const std::vector<double>& time,
+                                   const std::vector<double>& wave, double level, bool rising);
+
+/// Average of a waveform over [t_start, end].
+double average_after(const std::vector<double>& time, const std::vector<double>& wave,
+                     double t_start);
+
+/// Oscillation frequency from the mean period of the last rising
+/// crossings; returns 0 if fewer than 3 crossings.
+double oscillation_frequency(const std::vector<double>& time, const std::vector<double>& wave,
+                             double level);
+
+/// Figures of merit of one inverter design (fixed driver/load models).
+struct InverterMetrics {
+  double delay_s = 0.0;          ///< FO4 propagation delay (rise/fall average)
+  double static_power_W = 0.0;   ///< leakage power, mean of the two states
+  double dynamic_power_W = 0.0;  ///< switching power at the probe frequency
+  double snm_V = 0.0;            ///< butterfly SNM of the inverter pair
+  bool ok = false;
+};
+
+struct InverterMeasureOptions {
+  double vdd = 0.4;
+  double probe_period_s = 200e-12;  ///< full switching cycle for P_dyn
+  double rise_time_s = 2e-12;
+  double dt_s = 0.1e-12;
+};
+
+/// Full inverter characterization: DC leakage, FO4 transient delay,
+/// dynamic power over one switching cycle, and butterfly SNM.
+InverterMetrics measure_inverter(const InverterModels& driver, const InverterModels& load,
+                                 const InverterMeasureOptions& opts);
+
+/// Ring-oscillator figures of merit.
+struct RingMetrics {
+  double frequency_Hz = 0.0;
+  double total_power_W = 0.0;    ///< supply power at oscillation
+  double static_power_W = 0.0;   ///< leakage of the 15 inverters (DC)
+  double dynamic_power_W = 0.0;  ///< total - static
+  double energy_per_cycle_J = 0.0;
+  double edp_Js = 0.0;  ///< energy per cycle x period
+  bool ok = false;
+};
+
+struct RingMeasureOptions {
+  double vdd = 0.4;
+  double t_stop_s = 3.0e-9;
+  double dt_s = 0.25e-12;
+  double measure_fraction = 0.5;  ///< analyze the trailing fraction
+};
+
+RingMetrics measure_ring_oscillator(const std::vector<InverterModels>& stages,
+                                    const InverterModels& load, const RingMeasureOptions& opts);
+
+}  // namespace gnrfet::circuit

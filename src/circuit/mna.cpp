@@ -1,0 +1,23 @@
+#include "circuit/mna.hpp"
+
+namespace gnrfet::circuit {
+
+Circuit::Circuit() { node_names_.push_back("gnd"); }
+
+NodeId Circuit::new_node(const std::string& name) {
+  const NodeId id = static_cast<NodeId>(node_names_.size());
+  node_names_.push_back(name.empty() ? "n" + std::to_string(id) : name);
+  return id;
+}
+
+size_t Circuit::add(std::unique_ptr<Element> element) {
+  element->assign_slots(num_branches_, state_size_);
+  num_branches_ += element->num_branches();
+  state_size_ += element->state_size();
+  elements_.push_back(std::move(element));
+  return elements_.size() - 1;
+}
+
+size_t Circuit::num_unknowns() const { return num_nodes() - 1 + num_branches_; }
+
+}  // namespace gnrfet::circuit

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <vector>
+
+#include "circuit/elements.hpp"
+#include "circuit/transient.hpp"
+
+/// Netlist builders for the paper's representative circuits: inverter with
+/// fanout-of-4 load, 15-stage FO4 ring oscillator, and latch.
+namespace gnrfet::circuit {
+
+/// Complementary device pair of one inverter.
+struct InverterModels {
+  model::ExtrinsicFet nfet;
+  model::ExtrinsicFet pfet;
+};
+
+/// Add one static inverter; creates the 4 internal contact nodes.
+void add_inverter(Circuit& ckt, const InverterModels& models, NodeId in, NodeId out,
+                  NodeId vdd);
+
+/// Add `count` inverter gate-input loads at a node (fanout loading).
+void add_gate_loads(Circuit& ckt, const InverterModels& load_models, NodeId node, double vdd,
+                    int count);
+
+/// Inverter driving a fanout-of-4 load, with a pulse input.
+struct Fo4Testbench {
+  Circuit ckt;
+  NodeId in = 0, out = 0, vdd_node = 0;
+  size_t vdd_branch = 0;  ///< supply branch index for power probing
+  double vdd = 0.0;
+};
+
+Fo4Testbench build_fo4_inverter(const InverterModels& driver, const InverterModels& load,
+                                double vdd, VoltageSource::Waveform input);
+
+/// 15-stage ring oscillator; every stage output carries 3 extra gate loads
+/// so each inverter drives a fanout of 4 (next stage + 3 dummies).
+struct RingOscillator {
+  Circuit ckt;
+  std::vector<NodeId> stage_out;
+  NodeId vdd_node = 0;
+  size_t vdd_branch = 0;
+  double vdd = 0.0;
+
+  /// Alternating-rail initial state that kicks the oscillation.
+  std::vector<double> kick_state() const;
+};
+
+RingOscillator build_ring_oscillator(const std::vector<InverterModels>& stages,
+                                     const InverterModels& load, double vdd);
+
+/// Cross-coupled inverter latch (for DC/static-power checks; the butterfly
+/// SNM uses the VTCs directly, see snm.hpp).
+struct Latch {
+  Circuit ckt;
+  NodeId q = 0, qb = 0, vdd_node = 0;
+  size_t vdd_branch = 0;
+  double vdd = 0.0;
+};
+
+Latch build_latch(const InverterModels& fwd, const InverterModels& bwd, double vdd);
+
+}  // namespace gnrfet::circuit

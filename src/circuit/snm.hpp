@@ -1,0 +1,34 @@
+#pragma once
+
+#include "circuit/netlists.hpp"
+
+/// Voltage transfer curves and butterfly static noise margins (Sec. 3.1,
+/// Fig. 7): SNM is the side of the largest square inscribed in a butterfly
+/// lobe; the reported SNM is the smaller lobe (the paper's latch curves
+/// collapse one lobe to near zero under asymmetric variations).
+namespace gnrfet::circuit {
+
+struct Vtc {
+  std::vector<double> vin;
+  std::vector<double> vout;
+  std::vector<double> supply_current_A;  ///< branch current of the VDD source
+};
+
+/// DC sweep of one inverter (no load; VTCs are load-independent in DC).
+Vtc compute_vtc(const InverterModels& models, double vdd, int points = 161);
+
+/// Largest inscribed square of one butterfly lobe, where curve A is the
+/// VTC of the forward inverter (V2 = fA(V1)) and curve B of the backward
+/// inverter (V1 = fB(V2)).
+double butterfly_lobe(const Vtc& a, const Vtc& b);
+
+/// The inverse curve (axes swapped, re-sorted ascending).
+Vtc invert_vtc(const Vtc& v);
+
+/// SNM = min of the two lobes of the butterfly built from the two VTCs.
+double butterfly_snm(const Vtc& a, const Vtc& b);
+
+/// Inverter leakage power: mean supply power of the two logic states.
+double inverter_static_power(const InverterModels& models, double vdd);
+
+}  // namespace gnrfet::circuit

@@ -1,0 +1,104 @@
+#include "circuit/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+
+namespace gnrfet::circuit {
+
+std::vector<double> Waveforms::node(const Circuit& ckt, NodeId n) const {
+  const ptrdiff_t u = ckt.unknown_of_node(n);
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(u < 0 ? 0.0 : s[static_cast<size_t>(u)]);
+  return out;
+}
+
+std::vector<double> Waveforms::branch(const Circuit& ckt, size_t branch_index) const {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(s[ckt.unknown_of_branch(branch_index)]);
+  return out;
+}
+
+TransientResult run_transient(const Circuit& ckt, const TransientOptions& opts) {
+  TransientResult result;
+  const size_t n = ckt.num_unknowns();
+
+  std::vector<double> x;
+  if (!opts.initial_x.empty()) {
+    if (opts.initial_x.size() != n) {
+      throw std::invalid_argument("run_transient: initial_x size mismatch");
+    }
+    x = opts.initial_x;
+  } else {
+    const DcResult dc = solve_dc(ckt);
+    if (!dc.converged) return result;
+    x = dc.x;
+  }
+
+  std::vector<double> state(ckt.state_size(), 0.0);
+  for (const auto& e : ckt.elements()) e->init_state(ckt, x, state);
+
+  const size_t steps = static_cast<size_t>(std::ceil(opts.t_stop / opts.dt));
+  result.waves.time.reserve(steps + 1);
+  result.waves.samples.reserve(steps + 1);
+  result.waves.time.push_back(0.0);
+  result.waves.samples.push_back(x);
+
+  std::vector<double> state_next(state.size(), 0.0);
+  for (size_t step = 1; step <= steps; ++step) {
+    const double t = static_cast<double>(step) * opts.dt;
+    TransientContext ctx;
+    ctx.time = t;
+    ctx.dt = opts.dt;
+    ctx.state_prev = &state;
+    ctx.state_next = &state_next;
+
+    bool converged = false;
+    double clamp_v = 0.3;  // annealed if Newton cycles
+    for (int it = 0; it < opts.max_newton_iterations; ++it) {
+      if (it > 0 && it % 12 == 0) clamp_v *= 0.5;
+      linalg::DMatrix jac(n, n);
+      std::vector<double> res(n, 0.0);
+      std::fill(state_next.begin(), state_next.end(), 0.0);
+      Stamper st(ckt, x, jac, res);
+      for (const auto& e : ckt.elements()) e->stamp(st, ctx);
+      double res_norm = 0.0;
+      for (const double r : res) res_norm = std::max(res_norm, std::abs(r));
+      for (size_t i = 0; i + ckt.num_branches() < n; ++i) jac(i, i) += 1e-12;
+      std::vector<double> rhs(n);
+      for (size_t i = 0; i < n; ++i) rhs[i] = -res[i];
+      const std::vector<double> dx = linalg::LUReal(jac).solve(rhs);
+      double max_dx = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const double d =
+            (i + ckt.num_branches() < n) ? std::clamp(dx[i], -clamp_v, clamp_v) : dx[i];
+        x[i] += d;
+        if (i + ckt.num_branches() < n) max_dx = std::max(max_dx, std::abs(d));
+      }
+      if (max_dx < opts.update_tolerance_V && res_norm < opts.residual_tolerance_A) {
+        converged = true;
+        break;
+      }
+    }
+    if (!converged) return result;
+    // One final stamp to refresh state_next consistently with accepted x.
+    {
+      linalg::DMatrix jac(n, n);
+      std::vector<double> res(n, 0.0);
+      std::fill(state_next.begin(), state_next.end(), 0.0);
+      Stamper st(ckt, x, jac, res);
+      for (const auto& e : ckt.elements()) e->stamp(st, ctx);
+    }
+    state.swap(state_next);
+    result.waves.time.push_back(t);
+    result.waves.samples.push_back(x);
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace gnrfet::circuit

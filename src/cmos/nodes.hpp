@@ -1,0 +1,29 @@
+#pragma once
+
+#include "circuit/netlists.hpp"
+#include "cmos/compact_model.hpp"
+
+/// Calibrated 22/32/45 nm parameter decks and inverter-model builders for
+/// the Table 1 comparison. Calibration targets (from the paper's PTM/HSPICE
+/// columns): 15-stage FO4 ring frequency ~5.8/4.5/3.5 GHz at VDD = 0.8 V,
+/// EDP ~1.1/2.4/4.6 pJ-ps at the 0.6 V optimum, SNM ~0.3 V at 0.8 V.
+namespace gnrfet::cmos {
+
+enum class Node { k22nm, k32nm, k45nm };
+
+struct NodeDeck {
+  CmosParams nfet;
+  CmosParams pfet;
+  /// Extrinsic overlap/junction capacitance and contact resistance used in
+  /// the shared circuit FET element.
+  model::Parasitics parasitics;
+};
+
+NodeDeck node_deck(Node node);
+
+/// Complementary inverter models for one node.
+circuit::InverterModels make_cmos_inverter(Node node);
+
+const char* node_name(Node node);
+
+}  // namespace gnrfet::cmos

@@ -1,0 +1,39 @@
+#include "common/cache.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/strings.hpp"
+
+namespace gnrfet::cache {
+
+std::string directory() {
+  namespace fs = std::filesystem;
+  if (const char* env = std::getenv("GNRFET_CACHE_DIR"); env && *env) {
+    fs::create_directories(env);
+    return env;
+  }
+  // Walk up from the current directory looking for the repository root
+  // (identified by DESIGN.md); fall back to ./data/cache.
+  fs::path dir = fs::current_path();
+  for (int depth = 0; depth < 6; ++depth) {
+    if (fs::exists(dir / "DESIGN.md") && fs::exists(dir / "src")) {
+      const fs::path cache = dir / "data" / "cache";
+      fs::create_directories(cache);
+      return cache.string();
+    }
+    if (!dir.has_parent_path() || dir.parent_path() == dir) break;
+    dir = dir.parent_path();
+  }
+  const fs::path cache = fs::current_path() / "data" / "cache";
+  fs::create_directories(cache);
+  return cache.string();
+}
+
+std::string path_for(const std::string& name, const std::string& config_payload) {
+  return directory() + "/" + name + "-" + strings::hash_hex(config_payload) + ".csv";
+}
+
+bool exists(const std::string& path) { return std::filesystem::exists(path); }
+
+}  // namespace gnrfet::cache

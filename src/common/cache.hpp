@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+
+/// Resolution of the on-disk cache used for generated device tables.
+///
+/// Device-table generation (self-consistent NEGF + Poisson over a bias grid)
+/// is by far the most expensive step of the pipeline; circuit-level benches
+/// re-use tables across runs through this cache. The location is, in order:
+///   1. $GNRFET_CACHE_DIR if set,
+///   2. <repo>/data/cache when the source tree is detectable,
+///   3. ./data/cache under the current working directory.
+namespace gnrfet::cache {
+
+/// Directory for cached artifacts; created on first use.
+std::string directory();
+
+/// Full path for a cache entry: <dir>/<name>-<hash>.csv where <hash> keys
+/// the configuration payload.
+std::string path_for(const std::string& name, const std::string& config_payload);
+
+/// True if the entry exists on disk.
+bool exists(const std::string& path);
+
+}  // namespace gnrfet::cache

@@ -1,0 +1,62 @@
+#pragma once
+
+/// Physical constants and the unit conventions used throughout the library.
+///
+/// Device-physics layers (gnr, negf, poisson, device) work in
+///   energy: eV, length: nm, potential: V, charge: units of |e|.
+/// Circuit layers (model, circuit, cmos, explore) work in SI
+///   (A, V, F, s, W, J).
+/// The conversion boundary is src/device/tablegen + src/model, where
+/// currents become amperes and charges become coulombs.
+namespace gnrfet::constants {
+
+/// Elementary charge [C].
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+
+/// Planck constant [J s].
+inline constexpr double kPlanck = 6.62607015e-34;
+
+/// Reduced Planck constant [J s].
+inline constexpr double kHbar = 1.054571817e-34;
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Vacuum permittivity [F/m].
+inline constexpr double kEpsilon0 = 8.8541878128e-12;
+
+/// Vacuum permittivity in device units [e / (V nm)]:
+/// eps0 * 1e-9 m/nm / e. Used by the Poisson solver so that
+/// div(eps grad phi) = -rho with rho in e/nm^3 and phi in volts.
+inline constexpr double kEpsilon0_e_per_V_nm = kEpsilon0 * 1e-9 / kElementaryCharge;
+
+/// Thermal energy at 300 K [eV].
+inline constexpr double kThermalVoltage300K = kBoltzmann * 300.0 / kElementaryCharge;
+
+/// Landauer current prefactor, spin-degenerate, for energies in eV:
+/// I [A] = kCurrentPrefactor * Integral T(E) (f1 - f2) dE[eV].
+/// This is 2e/h with the eV->J conversion folded in, i.e. 2e^2/h = 77.48 uS.
+inline constexpr double kCurrentPrefactor =
+    2.0 * kElementaryCharge * kElementaryCharge / kPlanck;
+
+/// Carbon-carbon bond length in graphene [nm].
+inline constexpr double kCarbonBond_nm = 0.142;
+
+/// pz-orbital nearest-neighbour hopping energy [eV] (paper value).
+inline constexpr double kHoppingT = 2.7;
+
+/// Edge-bond relaxation factor from Son-Cohen-Louie ab initio fits:
+/// edge dimer bonds are strengthened to t*(1 + kEdgeRelaxation).
+inline constexpr double kEdgeRelaxation = 0.12;
+
+/// Relative permittivity of SiO2 (paper value).
+inline constexpr double kEpsSiO2 = 3.9;
+
+/// Fermi-Dirac occupation for energy e relative to chemical potential mu,
+/// both in eV, at thermal energy kT (eV).
+double fermi(double e_minus_mu_eV, double kT_eV = kThermalVoltage300K);
+
+/// d f / d E (negative), used by linearized charge models.
+double fermi_derivative(double e_minus_mu_eV, double kT_eV = kThermalVoltage300K);
+
+}  // namespace gnrfet::constants

@@ -1,0 +1,103 @@
+#include "common/csv.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace gnrfet::csv {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) index_[columns_[i]] = i;
+}
+
+void Table::add_row(const std::vector<double>& row) {
+  if (row.size() != columns_.size()) {
+    throw std::invalid_argument("csv::Table::add_row: column count mismatch");
+  }
+  rows_.push_back(row);
+}
+
+double Table::at(size_t row, const std::string& column) const {
+  const auto it = index_.find(column);
+  if (it == index_.end()) {
+    throw std::out_of_range("csv::Table: no column named " + column);
+  }
+  return rows_.at(row).at(it->second);
+}
+
+std::vector<double> Table::column(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    throw std::out_of_range("csv::Table: no column named " + name);
+  }
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const auto& r : rows_) out.push_back(r[it->second]);
+  return out;
+}
+
+void Table::set_meta(const std::string& key, const std::string& value) {
+  meta_[key] = value;
+}
+
+std::string Table::meta(const std::string& key, const std::string& fallback) const {
+  const auto it = meta_.find(key);
+  return it == meta_.end() ? fallback : it->second;
+}
+
+void Table::save(const std::string& path) const {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("csv: cannot open for write: " + path);
+  out.precision(12);
+  for (const auto& [k, v] : meta_) out << "# " << k << " = " << v << "\n";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    out << columns_[i] << (i + 1 == columns_.size() ? "\n" : ",");
+  }
+  for (const auto& r : rows_) {
+    for (size_t i = 0; i < r.size(); ++i) {
+      out << r[i] << (i + 1 == r.size() ? "\n" : ",");
+    }
+  }
+  if (!out.good()) throw std::runtime_error("csv: write failed: " + path);
+}
+
+Table Table::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("csv: cannot open for read: " + path);
+  std::string line;
+  std::map<std::string, std::string> meta;
+  std::vector<std::string> header;
+  while (std::getline(in, line)) {
+    line = strings::trim(line);
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      const auto eq = line.find('=');
+      if (eq != std::string::npos) {
+        meta[strings::trim(line.substr(1, eq - 1))] = strings::trim(line.substr(eq + 1));
+      }
+      continue;
+    }
+    for (auto& c : strings::split(line, ',')) header.push_back(strings::trim(c));
+    break;
+  }
+  if (header.empty()) throw std::runtime_error("csv: missing header: " + path);
+  Table t(header);
+  for (const auto& [k, v] : meta) t.set_meta(k, v);
+  while (std::getline(in, line)) {
+    line = strings::trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<double> row;
+    for (const auto& cell : strings::split(line, ',')) {
+      row.push_back(std::stod(cell));
+    }
+    t.add_row(row);
+  }
+  return t;
+}
+
+}  // namespace gnrfet::csv

@@ -1,0 +1,117 @@
+#include "device/selfconsistent.hpp"
+
+#include <cmath>
+
+#include "poisson/nonlinear.hpp"
+
+namespace gnrfet::device {
+
+SelfConsistentSolver::SelfConsistentSolver(const DeviceGeometry& geometry,
+                                           const SolveOptions& opts)
+    : geo_(geometry), opts_(opts) {}
+
+DeviceSolution SelfConsistentSolver::solve(const BiasPoint& bias,
+                                           const DeviceSolution* warm_start) const {
+  const auto& dom = geo_.domain();
+  const auto& grid = dom.spec();
+  const auto& lat = geo_.lattice();
+  const size_t ncol = lat.column_x_nm().size();
+  const size_t nlines = static_cast<size_t>(lat.n_index());
+
+  const std::vector<double> volts = geo_.electrode_voltages(0.0, bias.vd, bias.vg);
+
+  // Initial potential: warm start or the charge-free (Laplace + impurity)
+  // solution.
+  std::vector<double> phi;
+  if (warm_start && warm_start->phi_full.size() == grid.num_nodes()) {
+    phi = warm_start->phi_full;
+  } else {
+    phi = poisson::solve_linear_poisson(geo_.assembly(), volts, geo_.impurity_charge());
+  }
+
+  negf::TransportOptions topt;
+  topt.gamma_contact_eV = geo_.spec().contact_gamma_eV;
+  topt.mu_source_eV = 0.0;
+  topt.mu_drain_eV = -bias.vd;
+  topt.kT_eV = opts_.kT_eV;
+  topt.eta_eV = opts_.eta_eV;
+  topt.energy_step_eV = opts_.energy_step_eV;
+
+  DeviceSolution sol;
+  std::vector<std::vector<double>> u(ncol, std::vector<double>(nlines, 0.0));
+  std::vector<double> n_nodes(grid.num_nodes(), 0.0), p_nodes(grid.num_nodes(), 0.0);
+  negf::TransportSolution transport;
+
+  poisson::NonlinearOptions popt;
+  popt.thermal_voltage_V = opts_.kT_eV;
+
+  for (int it = 0; it < opts_.max_gummel_iterations; ++it) {
+    // Gather the electron potential energy on the ribbon: U = -phi [eV].
+    for (size_t c = 0; c < ncol; ++c) {
+      for (size_t j = 0; j < nlines; ++j) {
+        u[c][j] = -dom.interpolate(phi, geo_.column_x(c), geo_.line_y(static_cast<int>(j)), 0.0);
+      }
+    }
+    transport = negf::solve_mode_space(geo_.modes(), u, topt);
+
+    // Deposit electron/hole populations onto the grid.
+    std::fill(n_nodes.begin(), n_nodes.end(), 0.0);
+    std::fill(p_nodes.begin(), p_nodes.end(), 0.0);
+    for (size_t c = 0; c < ncol; ++c) {
+      for (size_t j = 0; j < nlines; ++j) {
+        const double x = geo_.column_x(c);
+        const double y = geo_.line_y(static_cast<int>(j));
+        if (transport.electrons[c][j] > 0.0) {
+          dom.deposit_charge(x, y, 0.0, transport.electrons[c][j], n_nodes);
+        }
+        if (transport.holes[c][j] > 0.0) {
+          dom.deposit_charge(x, y, 0.0, transport.holes[c][j], p_nodes);
+        }
+      }
+    }
+
+    const auto pres = poisson::solve_nonlinear_poisson(geo_.assembly(), volts, n_nodes,
+                                                       p_nodes, geo_.impurity_charge(), phi,
+                                                       phi, popt);
+    // Convergence metric: potential change on the ribbon plane.
+    double max_change = 0.0;
+    for (size_t c = 0; c < ncol; ++c) {
+      for (size_t j = 0; j < nlines; ++j) {
+        const double x = geo_.column_x(c);
+        const double y = geo_.line_y(static_cast<int>(j));
+        const double before = dom.interpolate(phi, x, y, 0.0);
+        const double after = dom.interpolate(pres.phi_full, x, y, 0.0);
+        max_change = std::max(max_change, std::abs(after - before));
+      }
+    }
+    phi = pres.phi_full;
+    sol.iterations = it + 1;
+    if (max_change < opts_.gummel_tolerance_V) {
+      sol.converged = true;
+      break;
+    }
+  }
+
+  // Final transport pass on the converged potential.
+  for (size_t c = 0; c < ncol; ++c) {
+    for (size_t j = 0; j < nlines; ++j) {
+      u[c][j] = -dom.interpolate(phi, geo_.column_x(c), geo_.line_y(static_cast<int>(j)), 0.0);
+    }
+  }
+  transport = negf::solve_mode_space(geo_.modes(), u, topt);
+
+  sol.current_A = transport.current_A;
+  sol.net_electrons = transport.total_net_electrons;
+  sol.phi_full = std::move(phi);
+  sol.midgap_profile_eV.resize(ncol);
+  sol.column_x_nm.resize(ncol);
+  for (size_t c = 0; c < ncol; ++c) {
+    double s = 0.0;
+    for (size_t j = 0; j < nlines; ++j) s += u[c][j];
+    sol.midgap_profile_eV[c] = s / static_cast<double>(nlines);
+    sol.column_x_nm[c] = lat.column_x_nm()[c];
+  }
+  return sol;
+}
+
+}  // namespace gnrfet::device

@@ -1,0 +1,68 @@
+#include "device/sweeps.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/constants.hpp"
+
+namespace gnrfet::device {
+
+std::vector<IvPoint> sweep_gate(const DeviceGeometry& geometry, const SolveOptions& opts,
+                                double vd, const std::vector<double>& vg_values) {
+  const SelfConsistentSolver solver(geometry, opts);
+  std::vector<IvPoint> out;
+  out.reserve(vg_values.size());
+  DeviceSolution prev;
+  bool have_prev = false;
+  for (const double vg : vg_values) {
+    const DeviceSolution sol = solver.solve({vg, vd}, have_prev ? &prev : nullptr);
+    IvPoint p;
+    p.vg = vg;
+    p.vd = vd;
+    p.current_A = sol.current_A;
+    p.charge_C = -constants::kElementaryCharge * sol.net_electrons;
+    p.converged = sol.converged;
+    out.push_back(p);
+    prev = sol;
+    have_prev = true;
+  }
+  return out;
+}
+
+std::vector<double> voltage_axis(double lo, double hi, size_t count) {
+  if (count < 2) throw std::invalid_argument("voltage_axis: need >= 2 points");
+  std::vector<double> v(count);
+  for (size_t i = 0; i < count; ++i) {
+    v[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(count - 1);
+  }
+  return v;
+}
+
+double extract_threshold_voltage(const std::vector<double>& vg,
+                                 const std::vector<double>& id_A) {
+  if (vg.size() != id_A.size() || vg.size() < 4) {
+    throw std::invalid_argument("extract_threshold_voltage: need >= 4 samples");
+  }
+  // Restrict to the electron branch: from the current minimum upward.
+  size_t i_min = 0;
+  for (size_t i = 1; i < id_A.size(); ++i) {
+    if (id_A[i] < id_A[i_min]) i_min = i;
+  }
+  // Max transconductance via central differences on the n-branch.
+  size_t best = 0;
+  double best_gm = -1.0;
+  for (size_t i = std::max<size_t>(i_min, 1); i + 1 < vg.size(); ++i) {
+    const double gm = (id_A[i + 1] - id_A[i - 1]) / (vg[i + 1] - vg[i - 1]);
+    if (gm > best_gm) {
+      best_gm = gm;
+      best = i;
+    }
+  }
+  if (best_gm <= 0.0) {
+    throw std::runtime_error("extract_threshold_voltage: no positive transconductance");
+  }
+  return vg[best] - id_A[best] / best_gm;
+}
+
+}  // namespace gnrfet::device

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "device/selfconsistent.hpp"
+
+/// Bias sweeps over the self-consistent device and classic MOS parameter
+/// extraction (threshold voltage per Fig. 2(b)).
+namespace gnrfet::device {
+
+struct IvPoint {
+  double vg = 0.0;
+  double vd = 0.0;
+  double current_A = 0.0;
+  double charge_C = 0.0;  ///< channel charge Q = -e * net electrons
+  bool converged = false;
+};
+
+/// Gate sweep at fixed drain bias; consecutive points are warm-started.
+std::vector<IvPoint> sweep_gate(const DeviceGeometry& geometry, const SolveOptions& opts,
+                                double vd, const std::vector<double>& vg_values);
+
+/// Uniformly spaced voltage axis [lo, hi] with `count` points.
+std::vector<double> voltage_axis(double lo, double hi, size_t count);
+
+/// Threshold voltage by the maximum-transconductance linear-extrapolation
+/// method (Fig. 2(b)): the tangent of I_D(V_G) at the max-gm point
+/// intersects the V_G axis at VT. Uses only the n-branch
+/// (points above the current minimum).
+double extract_threshold_voltage(const std::vector<double>& vg,
+                                 const std::vector<double>& id_A);
+
+}  // namespace gnrfet::device

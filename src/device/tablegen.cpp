@@ -1,0 +1,111 @@
+#include "device/tablegen.hpp"
+
+#include <sstream>
+
+#include "common/cache.hpp"
+#include "common/constants.hpp"
+#include "common/csv.hpp"
+#include "device/sweeps.hpp"
+#include "gnr/bandstructure.hpp"
+
+namespace gnrfet::device {
+
+std::string table_cache_payload(const DeviceSpec& spec, const TableGenOptions& opts) {
+  std::ostringstream os;
+  os.precision(10);
+  os << spec.cache_key() << "|vg[" << opts.vg_min << "," << opts.vg_max << ","
+     << opts.vg_points << "]vd[" << opts.vd_min << "," << opts.vd_max << "," << opts.vd_points
+     << "]de=" << opts.solve.energy_step_eV << ";eta=" << opts.solve.eta_eV
+     << ";kT=" << opts.solve.kT_eV << ";gtol=" << opts.solve.gummel_tolerance_V
+     << ";gmax=" << opts.solve.max_gummel_iterations;
+  return os.str();
+}
+
+void save_table(const DeviceTable& table, const std::string& path, const std::string& key) {
+  csv::Table t({"vg", "vd", "current_A", "charge_C"});
+  t.set_meta("key", key);
+  t.set_meta("band_gap_eV", std::to_string(table.band_gap_eV));
+  t.set_meta("nvg", std::to_string(table.vg.size()));
+  t.set_meta("nvd", std::to_string(table.vd.size()));
+  for (size_t ig = 0; ig < table.vg.size(); ++ig) {
+    for (size_t id = 0; id < table.vd.size(); ++id) {
+      t.add_row({table.vg[ig], table.vd[id], table.at_current(ig, id), table.at_charge(ig, id)});
+    }
+  }
+  t.save(path);
+}
+
+DeviceTable load_table(const std::string& path) {
+  const csv::Table t = csv::Table::load(path);
+  DeviceTable table;
+  table.band_gap_eV = std::stod(t.meta("band_gap_eV", "0"));
+  const size_t nvg = std::stoul(t.meta("nvg"));
+  const size_t nvd = std::stoul(t.meta("nvd"));
+  if (t.num_rows() != nvg * nvd) throw std::runtime_error("load_table: row count mismatch");
+  table.vg.resize(nvg);
+  table.vd.resize(nvd);
+  table.current_A.resize(nvg * nvd);
+  table.charge_C.resize(nvg * nvd);
+  for (size_t ig = 0; ig < nvg; ++ig) {
+    for (size_t id = 0; id < nvd; ++id) {
+      const size_t row = ig * nvd + id;
+      table.vg[ig] = t.at(row, "vg");
+      table.vd[id] = t.at(row, "vd");
+      table.current_A[row] = t.at(row, "current_A");
+      table.charge_C[row] = t.at(row, "charge_C");
+    }
+  }
+  return table;
+}
+
+DeviceTable generate_device_table(const DeviceSpec& spec, const TableGenOptions& opts) {
+  const std::string payload = table_cache_payload(spec, opts);
+  const std::string path = cache::path_for("device-table", payload);
+  if (opts.use_cache && cache::exists(path)) {
+    return load_table(path);
+  }
+
+  const DeviceGeometry geometry(spec);
+  const SelfConsistentSolver solver(geometry, opts.solve);
+
+  DeviceTable table;
+  table.vg = voltage_axis(opts.vg_min, opts.vg_max, opts.vg_points);
+  table.vd = voltage_axis(opts.vd_min, opts.vd_max, opts.vd_points);
+  table.current_A.assign(opts.vg_points * opts.vd_points, 0.0);
+  table.charge_C.assign(opts.vg_points * opts.vd_points, 0.0);
+  table.band_gap_eV = geometry.modes().band_gap_eV();
+
+  // Walk the grid drain-major, warm-starting each point from the previous
+  // gate point in the same column, and each column head from the previous
+  // column's head solution.
+  std::vector<DeviceSolution> column_heads(1);
+  DeviceSolution prev_head;
+  bool have_head = false;
+  for (size_t id = 0; id < table.vd.size(); ++id) {
+    DeviceSolution prev;
+    bool have_prev = false;
+    for (size_t ig = 0; ig < table.vg.size(); ++ig) {
+      const DeviceSolution* start = nullptr;
+      if (have_prev) {
+        start = &prev;
+      } else if (have_head) {
+        start = &prev_head;
+      }
+      const DeviceSolution sol = solver.solve({table.vg[ig], table.vd[id]}, start);
+      const size_t row = ig * table.vd.size() + id;
+      table.current_A[row] = sol.current_A;
+      table.charge_C[row] = -constants::kElementaryCharge * sol.net_electrons;
+      if (ig == 0) {
+        prev_head = sol;
+        have_head = true;
+      }
+      prev = sol;
+      have_prev = true;
+    }
+  }
+
+  if (opts.use_cache) save_table(table, path, payload);
+  return table;
+}
+
+}  // namespace gnrfet::device

@@ -1,0 +1,58 @@
+#include "explore/contours.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gnrfet::explore {
+
+namespace {
+/// Linear interpolation of the crossing point between two grid values.
+double frac(double a, double b, double level) { return (level - a) / (b - a); }
+}  // namespace
+
+std::vector<Segment> contour_segments(const std::vector<double>& xs,
+                                      const std::vector<double>& ys,
+                                      const std::vector<double>& field, double level) {
+  if (field.size() != xs.size() * ys.size()) {
+    throw std::invalid_argument("contour_segments: field size mismatch");
+  }
+  std::vector<Segment> segs;
+  const auto value = [&](size_t ix, size_t iy) { return field[ix * ys.size() + iy]; };
+
+  for (size_t ix = 0; ix + 1 < xs.size(); ++ix) {
+    for (size_t iy = 0; iy + 1 < ys.size(); ++iy) {
+      const double v00 = value(ix, iy), v10 = value(ix + 1, iy);
+      const double v01 = value(ix, iy + 1), v11 = value(ix + 1, iy + 1);
+      if (std::isnan(v00) || std::isnan(v10) || std::isnan(v01) || std::isnan(v11)) continue;
+      // Crossing points on the 4 cell edges.
+      struct Pt {
+        double x, y;
+      };
+      std::vector<Pt> pts;
+      const double x0 = xs[ix], x1 = xs[ix + 1], y0 = ys[iy], y1 = ys[iy + 1];
+      if ((v00 < level) != (v10 < level)) {
+        pts.push_back({x0 + (x1 - x0) * frac(v00, v10, level), y0});
+      }
+      if ((v01 < level) != (v11 < level)) {
+        pts.push_back({x0 + (x1 - x0) * frac(v01, v11, level), y1});
+      }
+      if ((v00 < level) != (v01 < level)) {
+        pts.push_back({x0, y0 + (y1 - y0) * frac(v00, v01, level)});
+      }
+      if ((v10 < level) != (v11 < level)) {
+        pts.push_back({x1, y0 + (y1 - y0) * frac(v10, v11, level)});
+      }
+      // 2 points: one segment. 4 points (saddle): pair them arbitrarily
+      // but deterministically.
+      if (pts.size() == 2) {
+        segs.push_back({pts[0].x, pts[0].y, pts[1].x, pts[1].y});
+      } else if (pts.size() == 4) {
+        segs.push_back({pts[0].x, pts[0].y, pts[2].x, pts[2].y});
+        segs.push_back({pts[1].x, pts[1].y, pts[3].x, pts[3].y});
+      }
+    }
+  }
+  return segs;
+}
+
+}  // namespace gnrfet::explore

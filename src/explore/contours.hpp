@@ -1,0 +1,20 @@
+#pragma once
+
+#include <vector>
+
+/// Contour extraction (marching squares) for the Fig. 3(b) EDP, frequency,
+/// and SNM maps over the (VT, VDD) plane.
+namespace gnrfet::explore {
+
+struct Segment {
+  double x1 = 0.0, y1 = 0.0;
+  double x2 = 0.0, y2 = 0.0;
+};
+
+/// `field[ix * ys.size() + iy]` over the grid (xs, ys); NaN cells are
+/// skipped. Returns line segments of the iso-level.
+std::vector<Segment> contour_segments(const std::vector<double>& xs,
+                                      const std::vector<double>& ys,
+                                      const std::vector<double>& field, double level);
+
+}  // namespace gnrfet::explore

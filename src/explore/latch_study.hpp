@@ -1,0 +1,31 @@
+#pragma once
+
+#include "circuit/snm.hpp"
+#include "explore/tech_explore.hpp"
+
+/// Latch butterfly study of Fig. 7: nominal latch, single-GNR-affected and
+/// all-GNRs-affected worst case (n-FET: N=9 with +q, p-FET: N=18 with -q),
+/// reporting SNM and latch static power (both inverters of the latch share
+/// the same variants, as in the paper).
+namespace gnrfet::explore {
+
+struct LatchCase {
+  const char* label = "";
+  circuit::Vtc vtc;       ///< both latch inverters are identical
+  double snm_V = 0.0;     ///< min butterfly lobe
+  double lobe1_V = 0.0;
+  double lobe2_V = 0.0;
+  double static_power_W = 0.0;  ///< worst stable state of the latch
+};
+
+struct LatchStudyOptions {
+  double vt = 0.13;
+  double vdd = 0.4;
+  VariantSpec worst_n{9, 1.0};    ///< N=9 with +q in the n-FET
+  VariantSpec worst_p{18, -1.0};  ///< N=18 with -q in the p-FET
+};
+
+/// Returns {nominal, 1-of-4 affected, 4-of-4 affected}.
+std::vector<LatchCase> run_latch_study(DesignKit& kit, const LatchStudyOptions& opts = {});
+
+}  // namespace gnrfet::explore

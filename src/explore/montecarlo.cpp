@@ -1,0 +1,80 @@
+#include "explore/montecarlo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gnrfet::explore {
+
+int DiscretizedNormal::draw(std::mt19937& rng) const {
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  const double x = u(rng);
+  if (x < p_low) return -1;
+  if (x > 1.0 - p_high) return 1;
+  return 0;
+}
+
+MonteCarloResult run_ring_monte_carlo(DesignKit& kit, const MonteCarloOptions& opts) {
+  MonteCarloResult result;
+  std::mt19937 rng(opts.seed);
+  const DiscretizedNormal dist;
+
+  circuit::RingMeasureOptions ropt = opts.ring;
+  ropt.vdd = opts.vdd;
+  const circuit::InverterModels nominal = kit.inverter(opts.vt);
+  result.nominal =
+      circuit::measure_ring_oscillator(std::vector<circuit::InverterModels>(15, nominal),
+                                       nominal, ropt);
+
+  // Width draws: N = 12 + 3 * z with z in {-1, 0, +1} -> {9, 12, 15};
+  // charge draws: q = z in {-1, 0, +1}.
+  for (int s = 0; s < opts.samples; ++s) {
+    std::vector<circuit::InverterModels> stages;
+    stages.reserve(15);
+    for (int i = 0; i < 15; ++i) {
+      const VariantSpec nv{12 + 3 * dist.draw(rng), static_cast<double>(dist.draw(rng))};
+      const VariantSpec pv{12 + 3 * dist.draw(rng), static_cast<double>(dist.draw(rng))};
+      stages.push_back(kit.inverter_with_variants(nv, pv, 4, opts.vt));
+    }
+    const circuit::RingMetrics m = circuit::measure_ring_oscillator(stages, nominal, ropt);
+    MonteCarloSample sample;
+    sample.ok = m.ok;
+    sample.frequency_Hz = m.frequency_Hz;
+    sample.static_power_W = m.static_power_W;
+    sample.dynamic_power_W = m.dynamic_power_W;
+    result.samples.push_back(sample);
+  }
+
+  double n_ok = 0.0;
+  for (const auto& s : result.samples) {
+    if (!s.ok) continue;
+    result.mean_frequency_Hz += s.frequency_Hz;
+    result.mean_static_power_W += s.static_power_W;
+    result.mean_dynamic_power_W += s.dynamic_power_W;
+    n_ok += 1.0;
+  }
+  if (n_ok > 0.0) {
+    result.mean_frequency_Hz /= n_ok;
+    result.mean_static_power_W /= n_ok;
+    result.mean_dynamic_power_W /= n_ok;
+  }
+  return result;
+}
+
+Histogram histogram(const std::vector<double>& values, int bins) {
+  Histogram h;
+  if (values.empty() || bins < 1) return h;
+  const auto [mn_it, mx_it] = std::minmax_element(values.begin(), values.end());
+  double lo = *mn_it, hi = *mx_it;
+  if (hi - lo < 1e-30) hi = lo + 1.0;
+  const double w = (hi - lo) / bins;
+  h.bin_centers.resize(static_cast<size_t>(bins));
+  h.counts.assign(static_cast<size_t>(bins), 0);
+  for (int b = 0; b < bins; ++b) h.bin_centers[static_cast<size_t>(b)] = lo + (b + 0.5) * w;
+  for (const double v : values) {
+    const int b = std::min(bins - 1, static_cast<int>((v - lo) / w));
+    h.counts[static_cast<size_t>(b)]++;
+  }
+  return h;
+}
+
+}  // namespace gnrfet::explore

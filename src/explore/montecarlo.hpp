@@ -1,0 +1,56 @@
+#pragma once
+
+#include <random>
+
+#include "explore/tech_explore.hpp"
+
+/// Monte Carlo study of Fig. 6: a 15-stage FO4 ring oscillator whose
+/// inverters carry independent width (N in {9,12,15}) and charge-impurity
+/// (q in {-1,0,+1}) draws from discretized normal distributions with the
+/// off-nominal values at one sigma.
+namespace gnrfet::explore {
+
+/// Three-valued discretization of a normal: nearest of {-1, 0, +1} sigma
+/// with boundaries at +-sigma/2: P(outer) ~ 0.3085, P(center) ~ 0.3829.
+struct DiscretizedNormal {
+  double p_low = 0.30854;
+  double p_high = 0.30854;
+
+  /// Returns -1, 0 or +1.
+  int draw(std::mt19937& rng) const;
+};
+
+struct MonteCarloOptions {
+  int samples = 200;
+  unsigned seed = 20080608;  ///< DAC 2008 conference date
+  double vt = 0.13;
+  double vdd = 0.4;
+  circuit::RingMeasureOptions ring;
+};
+
+struct MonteCarloSample {
+  double frequency_Hz = 0.0;
+  double static_power_W = 0.0;
+  double dynamic_power_W = 0.0;
+  bool ok = false;
+};
+
+struct MonteCarloResult {
+  std::vector<MonteCarloSample> samples;
+  circuit::RingMetrics nominal;
+  double mean_frequency_Hz = 0.0;
+  double mean_static_power_W = 0.0;
+  double mean_dynamic_power_W = 0.0;
+};
+
+MonteCarloResult run_ring_monte_carlo(DesignKit& kit, const MonteCarloOptions& opts);
+
+/// Histogram helper for the bench output.
+struct Histogram {
+  std::vector<double> bin_centers;
+  std::vector<int> counts;
+};
+
+Histogram histogram(const std::vector<double>& values, int bins);
+
+}  // namespace gnrfet::explore

@@ -1,0 +1,141 @@
+#include "explore/tech_explore.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "circuit/snm.hpp"
+#include "device/sweeps.hpp"
+
+namespace gnrfet::explore {
+
+device::TableGenOptions standard_table_options() {
+  device::TableGenOptions opts;
+  opts.vg_min = 0.0;
+  opts.vg_max = 1.0;
+  opts.vg_points = 21;  // 0.05 V steps; headroom for work-function offsets
+  opts.vd_min = 0.0;
+  opts.vd_max = 0.75;
+  opts.vd_points = 16;
+  return opts;
+}
+
+DesignKit::DesignKit(model::Parasitics parasitics) : parasitics_(parasitics) {}
+
+const device::DeviceTable& DesignKit::table(const VariantSpec& v) {
+  const auto it = tables_.find(v);
+  if (it != tables_.end()) return it->second;
+  device::DeviceSpec spec;
+  spec.n_index = v.n_index;
+  if (v.impurity_q != 0.0) spec.impurities.push_back({v.impurity_q, 1.0, 0.0, 0.4});
+  auto table = device::generate_device_table(spec, standard_table_options());
+  return tables_.emplace(v, std::move(table)).first->second;
+}
+
+double DesignKit::vt0() {
+  if (vt0_ >= 0.0) return vt0_;
+  const device::DeviceTable& t = table({12, 0.0});
+  // Extract at the lowest nonzero drain bias on the grid (0.05 V), per the
+  // max-gm method of Fig. 2(b).
+  const size_t ivd = 1;
+  std::vector<double> id(t.vg.size());
+  for (size_t ig = 0; ig < t.vg.size(); ++ig) id[ig] = t.at_current(ig, ivd);
+  vt0_ = device::extract_threshold_voltage(t.vg, id);
+  return vt0_;
+}
+
+model::IntrinsicFet DesignKit::channel(const VariantSpec& v, model::Polarity pol,
+                                       double offset) {
+  auto it = fet_tables_.find(v);
+  if (it == fet_tables_.end()) {
+    it = fet_tables_.emplace(v, model::make_fet_tables(table(v))).first;
+  }
+  return model::IntrinsicFet(it->second.current_A, it->second.charge_C, pol, offset);
+}
+
+circuit::InverterModels DesignKit::inverter(double vt_target) {
+  return inverter_with_variants({12, 0.0}, {12, 0.0}, 0, vt_target);
+}
+
+circuit::InverterModels DesignKit::inverter_with_variants(const VariantSpec& n_variant,
+                                                          const VariantSpec& p_variant,
+                                                          int affected, double vt_target) {
+  const double offset = vt0() - vt_target;
+  const VariantSpec nominal{12, 0.0};
+  // The p-FET is the particle-hole mirror of an n-device: a physical
+  // impurity q in the p-device maps to -q in the mirrored table.
+  const VariantSpec p_mirrored{p_variant.n_index, -p_variant.impurity_q};
+
+  circuit::InverterModels m;
+  m.nfet = model::make_extrinsic(
+      model::ArrayFet::with_variants(channel(nominal, model::Polarity::kN, offset),
+                                     channel(n_variant, model::Polarity::kN, offset), 4,
+                                     affected),
+      parasitics_);
+  m.pfet = model::make_extrinsic(
+      model::ArrayFet::with_variants(channel(nominal, model::Polarity::kP, offset),
+                                     channel(p_mirrored, model::Polarity::kP, offset), 4,
+                                     affected),
+      parasitics_);
+  return m;
+}
+
+std::vector<ExplorePoint> explore_plane(DesignKit& kit, const std::vector<double>& vt_values,
+                                        const std::vector<double>& vdd_values,
+                                        const ExploreOptions& opts) {
+  std::vector<ExplorePoint> grid;
+  grid.reserve(vt_values.size() * vdd_values.size());
+  for (const double vdd : vdd_values) {
+    for (const double vt : vt_values) {
+      ExplorePoint p;
+      p.vt = vt;
+      p.vdd = vdd;
+      const circuit::InverterModels inv = kit.inverter(vt);
+      circuit::RingMeasureOptions ropt = opts.ring;
+      ropt.vdd = vdd;
+      const std::vector<circuit::InverterModels> stages(15, inv);
+      const circuit::RingMetrics rm = circuit::measure_ring_oscillator(stages, inv, ropt);
+      if (rm.ok && rm.frequency_Hz > 0.0) {
+        p.frequency_Hz = rm.frequency_Hz;
+        p.edp_Js = rm.edp_Js;
+        p.static_power_W = rm.static_power_W;
+        p.dynamic_power_W = rm.dynamic_power_W;
+        const circuit::Vtc vtc = circuit::compute_vtc(inv, vdd);
+        p.snm_V = circuit::butterfly_snm(vtc, vtc);
+        p.ok = true;
+      }
+      grid.push_back(p);
+    }
+  }
+  return grid;
+}
+
+OperatingPoints find_operating_points(const std::vector<ExplorePoint>& grid,
+                                      double freq_target_Hz, double snm_target_V) {
+  OperatingPoints pts;
+  double best_a = 1e300, best_b = 1e300;
+  for (const auto& p : grid) {
+    if (!p.ok) continue;
+    if (p.frequency_Hz >= freq_target_Hz && p.edp_Js < best_a) {
+      best_a = p.edp_Js;
+      pts.a = p;
+    }
+    if (p.frequency_Hz >= freq_target_Hz && p.snm_V >= snm_target_V && p.edp_Js < best_b) {
+      best_b = p.edp_Js;
+      pts.b = p;
+    }
+  }
+  // C: same EDP/SNM class as B at strictly higher VT; among candidates
+  // pick the highest VT (the paper's C trades 40% frequency for nothing,
+  // illustrating that raising VT does not buy robustness in GNRFETs).
+  pts.c = pts.b;
+  for (const auto& p : grid) {
+    if (!p.ok || p.vt <= pts.b.vt) continue;
+    if (p.snm_V >= 0.9 * pts.b.snm_V && p.edp_Js <= 1.6 * pts.b.edp_Js &&
+        p.frequency_Hz < pts.b.frequency_Hz && p.vt > pts.c.vt) {
+      pts.c = p;
+    }
+  }
+  return pts;
+}
+
+}  // namespace gnrfet::explore

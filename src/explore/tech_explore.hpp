@@ -1,0 +1,93 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "circuit/measure.hpp"
+#include "device/tablegen.hpp"
+#include "model/intrinsic_fet.hpp"
+
+/// Technology exploration of Sec. 3.1: build GNRFET inverter models at any
+/// (VT, VDD) design point from the cached intrinsic-device tables, sweep
+/// the design plane, and locate the paper's operating points A/B/C.
+namespace gnrfet::explore {
+
+/// Device variant identity within the kit: GNR index and oxide charge.
+struct VariantSpec {
+  int n_index = 12;
+  double impurity_q = 0.0;
+  bool operator<(const VariantSpec& o) const {
+    return n_index != o.n_index ? n_index < o.n_index : impurity_q < o.impurity_q;
+  }
+};
+
+/// The bias-grid settings shared by the table cache; tools/gen_tables and
+/// all benches must agree on these for cache hits.
+device::TableGenOptions standard_table_options();
+
+/// Loads (generating on miss) device tables and builds circuit models.
+class DesignKit {
+ public:
+  explicit DesignKit(model::Parasitics parasitics = model::Parasitics::from_per_width(0.1, 40.0));
+
+  /// Cached table lookup; generates (minutes) on first use of a variant.
+  const device::DeviceTable& table(const VariantSpec& v);
+
+  /// Threshold voltage of the nominal (N=12, ideal) device at low VD with
+  /// zero work-function offset; VT tuning uses offset = vt0 - VT_target.
+  double vt0();
+
+  /// Nominal inverter (all four GNRs N=12 ideal in both devices) at a
+  /// target threshold voltage.
+  circuit::InverterModels inverter(double vt_target);
+
+  /// Inverter whose n/p arrays carry `affected` (1..4) variant GNRs
+  /// (Secs. 4-5). The p-FET variant's impurity sign is folded through the
+  /// particle-hole mirror internally: pass the physical p-device impurity.
+  circuit::InverterModels inverter_with_variants(const VariantSpec& n_variant,
+                                                 const VariantSpec& p_variant, int affected,
+                                                 double vt_target);
+
+  const model::Parasitics& parasitics() const { return parasitics_; }
+
+ private:
+  model::IntrinsicFet channel(const VariantSpec& v, model::Polarity pol, double offset);
+  model::Parasitics parasitics_;
+  std::map<VariantSpec, device::DeviceTable> tables_;
+  std::map<VariantSpec, model::FetTables> fet_tables_;
+  double vt0_ = -1.0;
+};
+
+/// One point of the (VT, VDD) exploration plane (Fig. 3(b)).
+struct ExplorePoint {
+  double vt = 0.0;
+  double vdd = 0.0;
+  double frequency_Hz = 0.0;
+  double edp_Js = 0.0;
+  double snm_V = 0.0;
+  double static_power_W = 0.0;
+  double dynamic_power_W = 0.0;
+  bool ok = false;
+};
+
+struct ExploreOptions {
+  circuit::RingMeasureOptions ring;  ///< vdd is overridden per point
+};
+
+/// Sweep the plane: a 15-stage FO4 ring oscillator + inverter SNM at every
+/// (vt, vdd) combination.
+std::vector<ExplorePoint> explore_plane(DesignKit& kit, const std::vector<double>& vt_values,
+                                        const std::vector<double>& vdd_values,
+                                        const ExploreOptions& opts = {});
+
+/// The paper's operating points: A = min EDP at >= 3 GHz; B = min EDP at
+/// >= 3 GHz and SNM >= 0.15 V; C = same EDP/SNM class as B at higher VT
+/// (lower frequency).
+struct OperatingPoints {
+  ExplorePoint a, b, c;
+};
+
+OperatingPoints find_operating_points(const std::vector<ExplorePoint>& grid,
+                                      double freq_target_Hz = 3e9, double snm_target_V = 0.15);
+
+}  // namespace gnrfet::explore

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "explore/tech_explore.hpp"
+
+/// The variability/defect study engines behind Tables 2, 3, and 4: measure
+/// the FO4 inverter under every n/p variant combination in the 1-of-4 and
+/// 4-of-4 scenarios and report percent changes against the nominal design.
+namespace gnrfet::explore {
+
+struct VariationEntry {
+  VariantSpec n_variant;
+  VariantSpec p_variant;
+  /// [0] = one GNR affected, [1] = all four GNRs affected.
+  circuit::InverterMetrics metrics[2];
+  double delay_pct[2] = {0.0, 0.0};
+  double static_power_pct[2] = {0.0, 0.0};
+  double dynamic_power_pct[2] = {0.0, 0.0};
+  double snm_pct[2] = {0.0, 0.0};
+};
+
+struct VariationStudyOptions {
+  double vt = 0.13;   ///< operating point B of Sec. 3.1
+  double vdd = 0.4;
+  circuit::InverterMeasureOptions measure;
+};
+
+/// Nominal metrics at the study operating point.
+circuit::InverterMetrics nominal_inverter_metrics(DesignKit& kit,
+                                                  const VariationStudyOptions& opts);
+
+/// Full cross-product study: one entry per (n_variant, p_variant) pair.
+std::vector<VariationEntry> run_variation_study(DesignKit& kit,
+                                                const std::vector<VariantSpec>& n_variants,
+                                                const std::vector<VariantSpec>& p_variants,
+                                                const VariationStudyOptions& opts);
+
+}  // namespace gnrfet::explore

@@ -1,0 +1,46 @@
+#pragma once
+
+#include "linalg/dense.hpp"
+
+/// LU factorization with partial pivoting for the dense complex blocks used
+/// in the recursive Green's function sweeps (matrix inverse and linear
+/// solves on blocks of dimension up to ~2N).
+namespace gnrfet::linalg {
+
+/// In-place LU decomposition holder. Throws std::runtime_error on a
+/// numerically singular pivot (|pivot| below an absolute floor).
+class LU {
+ public:
+  explicit LU(CMatrix a);
+
+  /// Solve A x = b for a single right-hand side.
+  std::vector<cplx> solve(const std::vector<cplx>& b) const;
+
+  /// Solve A X = B column-by-column.
+  CMatrix solve(const CMatrix& b) const;
+
+  /// log|det A| (natural log of absolute determinant), for diagnostics.
+  double log_abs_det() const;
+
+ private:
+  CMatrix lu_;
+  std::vector<size_t> perm_;
+  int sign_ = 1;
+};
+
+/// Convenience: matrix inverse via LU. Throws on singular input.
+CMatrix inverse(const CMatrix& a);
+
+/// Real-valued variants (used by the compact CMOS model calibration and the
+/// circuit simulator's Newton solves).
+class LUReal {
+ public:
+  explicit LUReal(DMatrix a);
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+ private:
+  DMatrix lu_;
+  std::vector<size_t> perm_;
+};
+
+}  // namespace gnrfet::linalg

@@ -1,0 +1,61 @@
+#include "linalg/pcg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gnrfet::linalg {
+
+namespace {
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+}  // namespace
+
+PcgResult pcg_solve(const SparseMatrix& a, const std::vector<double>& b,
+                    std::vector<double>& x, const PcgOptions& opts) {
+  const size_t n = a.dim();
+  if (b.size() != n) throw std::invalid_argument("pcg_solve: rhs size mismatch");
+  if (x.size() != n) x.assign(n, 0.0);
+
+  std::vector<double> inv_diag = a.diagonal();
+  for (auto& d : inv_diag) d = (std::abs(d) > 1e-300) ? 1.0 / d : 1.0;
+
+  std::vector<double> r(n), z(n), p(n), ap(n);
+  a.multiply(x, ap);
+  for (size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+  const double b_norm = std::sqrt(std::max(dot(b, b), 1e-300));
+
+  for (size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+  p = z;
+  double rz = dot(r, z);
+
+  PcgResult result;
+  for (size_t it = 0; it < opts.max_iterations; ++it) {
+    const double r_norm = std::sqrt(dot(r, r));
+    result.residual_norm = r_norm;
+    result.iterations = it;
+    if (r_norm <= opts.rel_tolerance * b_norm || r_norm <= opts.abs_tolerance) {
+      result.converged = true;
+      return result;
+    }
+    a.multiply(p, ap);
+    const double pap = dot(p, ap);
+    if (pap <= 0.0) break;  // not SPD or breakdown
+    const double alpha = rz / pap;
+    for (size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    for (size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  result.residual_norm = std::sqrt(dot(r, r));
+  return result;
+}
+
+}  // namespace gnrfet::linalg

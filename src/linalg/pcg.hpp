@@ -1,0 +1,26 @@
+#pragma once
+
+#include "linalg/sparse.hpp"
+
+/// Preconditioned conjugate gradient for the (symmetric positive definite)
+/// Poisson systems. Jacobi preconditioning is sufficient here because the
+/// Gummel loop warm-starts each solve from the previous potential.
+namespace gnrfet::linalg {
+
+struct PcgOptions {
+  double rel_tolerance = 1e-10;
+  double abs_tolerance = 1e-14;
+  size_t max_iterations = 20000;
+};
+
+struct PcgResult {
+  bool converged = false;
+  size_t iterations = 0;
+  double residual_norm = 0.0;
+};
+
+/// Solves A x = b in place; `x` provides the initial guess.
+PcgResult pcg_solve(const SparseMatrix& a, const std::vector<double>& b,
+                    std::vector<double>& x, const PcgOptions& opts = {});
+
+}  // namespace gnrfet::linalg

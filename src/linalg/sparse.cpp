@@ -1,0 +1,73 @@
+#include "linalg/sparse.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gnrfet::linalg {
+
+void SparseBuilder::add(size_t row, size_t col, double value) {
+  if (row >= n_ || col >= n_) throw std::out_of_range("SparseBuilder::add: index out of range");
+  trips_.push_back({row, col, value});
+}
+
+SparseMatrix::SparseMatrix(const SparseBuilder& b) {
+  const size_t n = b.dim();
+  auto trips = b.triplets();
+  std::sort(trips.begin(), trips.end(), [](const auto& x, const auto& y) {
+    return x.row != y.row ? x.row < y.row : x.col < y.col;
+  });
+  row_ptr_.assign(n + 1, 0);
+  col_idx_.reserve(trips.size());
+  values_.reserve(trips.size());
+  size_t i = 0;
+  for (size_t row = 0; row < n; ++row) {
+    row_ptr_[row] = col_idx_.size();
+    while (i < trips.size() && trips[i].row == row) {
+      const size_t col = trips[i].col;
+      double v = 0.0;
+      while (i < trips.size() && trips[i].row == row && trips[i].col == col) {
+        v += trips[i].value;
+        ++i;
+      }
+      col_idx_.push_back(col);
+      values_.push_back(v);
+    }
+  }
+  row_ptr_[n] = col_idx_.size();
+  diag_pos_.assign(n, -1);
+  for (size_t row = 0; row < n; ++row) {
+    for (size_t k = row_ptr_[row]; k < row_ptr_[row + 1]; ++k) {
+      if (col_idx_[k] == row) diag_pos_[row] = static_cast<ptrdiff_t>(k);
+    }
+  }
+}
+
+void SparseMatrix::multiply(const std::vector<double>& x, std::vector<double>& y) const {
+  const size_t n = dim();
+  if (x.size() != n) throw std::invalid_argument("SparseMatrix::multiply: size mismatch");
+  y.assign(n, 0.0);
+  for (size_t row = 0; row < n; ++row) {
+    double s = 0.0;
+    for (size_t k = row_ptr_[row]; k < row_ptr_[row + 1]; ++k) {
+      s += values_[k] * x[col_idx_[k]];
+    }
+    y[row] = s;
+  }
+}
+
+std::vector<double> SparseMatrix::diagonal() const {
+  std::vector<double> d(dim(), 0.0);
+  for (size_t row = 0; row < dim(); ++row) {
+    if (diag_pos_[row] >= 0) d[row] = values_[static_cast<size_t>(diag_pos_[row])];
+  }
+  return d;
+}
+
+void SparseMatrix::add_to_diagonal(size_t row, double value) {
+  if (row >= dim() || diag_pos_[row] < 0) {
+    throw std::out_of_range("SparseMatrix::add_to_diagonal: no diagonal entry");
+  }
+  values_[static_cast<size_t>(diag_pos_[row])] += value;
+}
+
+}  // namespace gnrfet::linalg

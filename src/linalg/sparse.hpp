@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+/// Compressed-sparse-row matrix for the 3D Poisson operator.
+namespace gnrfet::linalg {
+
+/// Triplet accumulator -> CSR. Duplicate (row, col) entries are summed,
+/// which makes element-by-element assembly of the Poisson stencil natural.
+class SparseBuilder {
+ public:
+  explicit SparseBuilder(size_t n) : n_(n) {}
+  void add(size_t row, size_t col, double value);
+  size_t dim() const { return n_; }
+
+  struct Triplet {
+    size_t row, col;
+    double value;
+  };
+  const std::vector<Triplet>& triplets() const { return trips_; }
+
+ private:
+  size_t n_;
+  std::vector<Triplet> trips_;
+};
+
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+  explicit SparseMatrix(const SparseBuilder& b);
+
+  size_t dim() const { return row_ptr_.empty() ? 0 : row_ptr_.size() - 1; }
+
+  /// y = A x.
+  void multiply(const std::vector<double>& x, std::vector<double>& y) const;
+
+  /// Diagonal entries (zero where absent), for Jacobi preconditioning.
+  std::vector<double> diagonal() const;
+
+  /// Add `value` to the diagonal entry of `row`. The entry must exist
+  /// (Poisson assembly always creates diagonals); throws otherwise.
+  /// Used by the nonlinear Poisson Newton loop to update the Jacobian
+  /// without re-assembling the Laplacian.
+  void add_to_diagonal(size_t row, double value);
+
+  const std::vector<size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<size_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<size_t> row_ptr_;
+  std::vector<size_t> col_idx_;
+  std::vector<double> values_;
+  std::vector<ptrdiff_t> diag_pos_;
+};
+
+}  // namespace gnrfet::linalg

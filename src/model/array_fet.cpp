@@ -1,0 +1,56 @@
+#include "model/array_fet.hpp"
+
+#include <stdexcept>
+
+namespace gnrfet::model {
+
+ArrayFet::ArrayFet(std::vector<IntrinsicFet> channels) : channels_(std::move(channels)) {
+  if (channels_.empty()) throw std::invalid_argument("ArrayFet: need >= 1 channel");
+  for (const auto& c : channels_) {
+    if (c.polarity() != channels_.front().polarity()) {
+      throw std::invalid_argument("ArrayFet: mixed polarities in one array");
+    }
+  }
+}
+
+ArrayFet ArrayFet::uniform(const IntrinsicFet& channel, int count) {
+  return ArrayFet(std::vector<IntrinsicFet>(static_cast<size_t>(count), channel));
+}
+
+ArrayFet ArrayFet::with_variants(const IntrinsicFet& nominal, const IntrinsicFet& variant,
+                                 int count, int affected) {
+  if (affected < 0 || affected > count) {
+    throw std::invalid_argument("ArrayFet: affected count out of range");
+  }
+  std::vector<IntrinsicFet> channels;
+  channels.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count - affected; ++i) channels.push_back(nominal);
+  for (int i = 0; i < affected; ++i) channels.push_back(variant);
+  return ArrayFet(std::move(channels));
+}
+
+namespace {
+FetSample sum(const std::vector<IntrinsicFet>& channels, bool want_current, double vgs,
+              double vds) {
+  FetSample total;
+  for (const auto& c : channels) {
+    const FetSample s = want_current ? c.current(vgs, vds) : c.charge(vgs, vds);
+    total.value += s.value;
+    total.d_dvgs += s.d_dvgs;
+    total.d_dvds += s.d_dvds;
+  }
+  return total;
+}
+}  // namespace
+
+FetSample ArrayFet::current(double vgs, double vds) const {
+  return sum(channels_, true, vgs, vds);
+}
+
+FetSample ArrayFet::charge(double vgs, double vds) const {
+  return sum(channels_, false, vgs, vds);
+}
+
+Polarity ArrayFet::polarity() const { return channels_.front().polarity(); }
+
+}  // namespace gnrfet::model

@@ -1,0 +1,40 @@
+#include "negf/energygrid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gnrfet::negf {
+
+EnergyGrid make_energy_grid(double e_lo_eV, double e_hi_eV, double step_eV) {
+  if (!(e_hi_eV > e_lo_eV) || step_eV <= 0.0) {
+    throw std::invalid_argument("make_energy_grid: invalid window or step");
+  }
+  const size_t n = std::max<size_t>(3, static_cast<size_t>(std::ceil((e_hi_eV - e_lo_eV) / step_eV)) + 1);
+  const double h = (e_hi_eV - e_lo_eV) / static_cast<double>(n - 1);
+  EnergyGrid g;
+  g.points.resize(n);
+  g.weights.assign(n, h);
+  for (size_t i = 0; i < n; ++i) g.points[i] = e_lo_eV + h * static_cast<double>(i);
+  g.weights.front() = 0.5 * h;
+  g.weights.back() = 0.5 * h;
+  return g;
+}
+
+EnergyWindow charge_window(double min_midgap_eV, double max_midgap_eV, double mu_source_eV,
+                           double mu_drain_eV, double kT_eV, double band_top_eV) {
+  const double tail = 14.0 * kT_eV;
+  const double mu_lo = std::min(mu_source_eV, mu_drain_eV);
+  const double mu_hi = std::max(mu_source_eV, mu_drain_eV);
+  EnergyWindow w;
+  // Electrons: fully occupied states extend down to the lowest mid-gap;
+  // holes: (1 - f) cuts off below mu_lo - tail. Add a small safety margin.
+  w.lo = std::min(min_midgap_eV, mu_lo - tail) - 0.05;
+  w.hi = std::max(max_midgap_eV, mu_hi + tail) + 0.05;
+  // Never integrate past the band tops (no states beyond them).
+  w.lo = std::max(w.lo, min_midgap_eV - band_top_eV - 0.1);
+  w.hi = std::min(w.hi, max_midgap_eV + band_top_eV + 0.1);
+  return w;
+}
+
+}  // namespace gnrfet::negf

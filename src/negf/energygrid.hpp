@@ -1,0 +1,28 @@
+#pragma once
+
+#include <vector>
+
+/// Energy-grid construction for the charge/current integrals.
+namespace gnrfet::negf {
+
+struct EnergyGrid {
+  std::vector<double> points;   ///< uniform grid (eV)
+  std::vector<double> weights;  ///< trapezoid weights (eV)
+};
+
+/// Uniform grid on [e_lo, e_hi] with approximately `step` spacing.
+EnergyGrid make_energy_grid(double e_lo_eV, double e_hi_eV, double step_eV);
+
+/// Integration window for bipolar ballistic charge/current:
+/// the electron integrand lives below mu_max + tail and above the lowest
+/// local mid-gap; the hole integrand lives above mu_min - tail and below
+/// the highest local mid-gap; both are bounded by the band tops.
+struct EnergyWindow {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+EnergyWindow charge_window(double min_midgap_eV, double max_midgap_eV, double mu_source_eV,
+                           double mu_drain_eV, double kT_eV, double band_top_eV);
+
+}  // namespace gnrfet::negf

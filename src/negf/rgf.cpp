@@ -1,0 +1,151 @@
+#include "negf/rgf.hpp"
+
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+#include "negf/selfenergy.hpp"
+
+namespace gnrfet::negf {
+
+using linalg::CMatrix;
+using linalg::cplx;
+
+namespace {
+
+/// (E + i eta) I - Hd - extra self-energy terms on this block.
+CMatrix block_a(const CMatrix& hd, cplx e) {
+  CMatrix a(hd.rows(), hd.cols());
+  for (size_t i = 0; i < hd.rows(); ++i) {
+    for (size_t j = 0; j < hd.cols(); ++j) a(i, j) = -hd(i, j);
+    a(i, i) += e;
+  }
+  return a;
+}
+
+void check_contact_shapes(const gnr::BlockTridiagonal& h, const CMatrix& sl, const CMatrix& sr) {
+  if (h.num_blocks() < 2) throw std::invalid_argument("rgf: need >= 2 blocks");
+  if (sl.rows() != h.diag.front().rows() || sl.cols() != h.diag.front().cols()) {
+    throw std::invalid_argument("rgf: sigma_left shape mismatch");
+  }
+  if (sr.rows() != h.diag.back().rows() || sr.cols() != h.diag.back().cols()) {
+    throw std::invalid_argument("rgf: sigma_right shape mismatch");
+  }
+}
+
+}  // namespace
+
+RgfResult rgf_solve(const gnr::BlockTridiagonal& h, double energy_eV, double eta_eV,
+                    const CMatrix& sigma_left, const CMatrix& sigma_right) {
+  check_contact_shapes(h, sigma_left, sigma_right);
+  const size_t nb = h.num_blocks();
+  const cplx e(energy_eV, eta_eV);
+
+  // Forward sweep: left-connected Green's functions gL_i.
+  std::vector<CMatrix> gl(nb);
+  {
+    CMatrix a0 = block_a(h.diag[0], e);
+    a0 -= sigma_left;
+    gl[0] = linalg::LU(a0).solve(CMatrix::identity(a0.rows()));
+  }
+  for (size_t i = 1; i < nb; ++i) {
+    CMatrix a = block_a(h.diag[i], e);
+    if (i == nb - 1) a -= sigma_right;
+    // a -= V_{i,i-1} gL_{i-1} V_{i-1,i}, with V_{i-1,i} = upper[i-1].
+    const CMatrix& v_up = h.upper[i - 1];
+    const CMatrix v_dn = v_up.adjoint();
+    a -= v_dn * (gl[i - 1] * v_up);
+    gl[i] = linalg::LU(a).solve(CMatrix::identity(a.rows()));
+  }
+
+  // Backward sweep for the diagonal blocks of the full G, plus the last
+  // column blocks via G_{i,last} = -gL_i A_{i,i+1} G_{i+1,last}
+  // (valid for row index below the column index with left-connected g;
+  // A_{i,i+1} = -H_{i,i+1} so the signs fold into a plus).
+  std::vector<CMatrix> gdiag(nb);
+  std::vector<CMatrix> gcol(nb);  // G_{i,last}
+  gdiag[nb - 1] = gl[nb - 1];
+  gcol[nb - 1] = gl[nb - 1];
+  for (size_t ii = nb - 1; ii-- > 0;) {
+    const CMatrix& v_up = h.upper[ii];  // H_{ii, ii+1}
+    const CMatrix v_dn = v_up.adjoint();
+    gdiag[ii] = gl[ii] + gl[ii] * (v_up * (gdiag[ii + 1] * (v_dn * gl[ii])));
+    gcol[ii] = gl[ii] * (v_up * gcol[ii + 1]);
+  }
+
+  const CMatrix gamma_l = broadening(sigma_left);
+  const CMatrix gamma_r = broadening(sigma_right);
+
+  RgfResult r;
+  // Transmission: Tr[Gamma_L G_{0,last} Gamma_R G_{0,last}^dagger].
+  {
+    const CMatrix& g_0n = gcol[0];
+    const CMatrix m = gamma_l * (g_0n * (gamma_r * g_0n.adjoint()));
+    r.transmission = m.trace().real();
+  }
+  // Contact spectral functions: A_R,ii from the last-column blocks,
+  // A_L,ii = A_ii - A_R,ii with A = i (G - G^dagger).
+  r.spectral_left.reserve(h.total_dim());
+  r.spectral_right.reserve(h.total_dim());
+  for (size_t i = 0; i < nb; ++i) {
+    const CMatrix ar = gcol[i] * (gamma_r * gcol[i].adjoint());
+    const size_t n = gdiag[i].rows();
+    for (size_t k = 0; k < n; ++k) {
+      const double a_tot = -2.0 * gdiag[i](k, k).imag();
+      const double a_r = ar(k, k).real();
+      r.spectral_right.push_back(a_r);
+      r.spectral_left.push_back(std::max(0.0, a_tot - a_r));
+    }
+  }
+  return r;
+}
+
+RgfResult dense_reference_solve(const gnr::BlockTridiagonal& h, double energy_eV, double eta_eV,
+                                const CMatrix& sigma_left, const CMatrix& sigma_right) {
+  check_contact_shapes(h, sigma_left, sigma_right);
+  const size_t n = h.total_dim();
+  CMatrix a(n, n);
+  const CMatrix hd = h.to_dense();
+  const cplx e(energy_eV, eta_eV);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) a(i, j) = -hd(i, j);
+    a(i, i) += e;
+  }
+  const size_t n0 = h.diag.front().rows();
+  const size_t nl = h.diag.back().rows();
+  for (size_t i = 0; i < n0; ++i) {
+    for (size_t j = 0; j < n0; ++j) a(i, j) -= sigma_left(i, j);
+  }
+  for (size_t i = 0; i < nl; ++i) {
+    for (size_t j = 0; j < nl; ++j) a(n - nl + i, n - nl + j) -= sigma_right(i, j);
+  }
+  const CMatrix g = linalg::LU(a).solve(CMatrix::identity(n));
+
+  // Embed the contact broadenings in full-dimension frames.
+  CMatrix gamma_l(n, n), gamma_r(n, n);
+  const CMatrix gl_small = broadening(sigma_left);
+  const CMatrix gr_small = broadening(sigma_right);
+  for (size_t i = 0; i < n0; ++i) {
+    for (size_t j = 0; j < n0; ++j) gamma_l(i, j) = gl_small(i, j);
+  }
+  for (size_t i = 0; i < nl; ++i) {
+    for (size_t j = 0; j < nl; ++j) gamma_r(n - nl + i, n - nl + j) = gr_small(i, j);
+  }
+  const CMatrix ar = g * (gamma_r * g.adjoint());
+  const CMatrix t = gamma_r * (g * (gamma_l * g.adjoint()));
+
+  RgfResult r;
+  r.transmission = t.trace().real();
+  r.spectral_left.resize(n);
+  r.spectral_right.resize(n);
+  // Same convention as rgf_solve: A_R exact from Gamma_R, A_L as the
+  // remainder of the total spectral function (which also absorbs the small
+  // eta-broadening background).
+  for (size_t k = 0; k < n; ++k) {
+    const double a_tot = -2.0 * g(k, k).imag();
+    r.spectral_right[k] = ar(k, k).real();
+    r.spectral_left[k] = std::max(0.0, a_tot - ar(k, k).real());
+  }
+  return r;
+}
+
+}  // namespace gnrfet::negf

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "gnr/hamiltonian.hpp"
+#include "linalg/dense.hpp"
+
+/// Recursive Green's function (RGF) solver for block-tridiagonal
+/// Hamiltonians with self-energies on the first and last block.
+///
+/// For each energy it returns the quantities the transport layer needs:
+/// transmission T(E) and the orbital-resolved contact spectral functions
+/// A_L,ii and A_R,ii (diagonals), from which bipolar charge is assembled.
+namespace gnrfet::negf {
+
+struct RgfResult {
+  double transmission = 0.0;
+  /// Diagonal of the source-injected spectral function per orbital,
+  /// concatenated slice by slice.
+  std::vector<double> spectral_left;
+  /// Diagonal of the drain-injected spectral function per orbital.
+  std::vector<double> spectral_right;
+};
+
+/// Solve at complex energy E + i*eta. `sigma_left` acts on block 0,
+/// `sigma_right` on the last block. Throws on shape mismatches.
+RgfResult rgf_solve(const gnr::BlockTridiagonal& h, double energy_eV, double eta_eV,
+                    const linalg::CMatrix& sigma_left, const linalg::CMatrix& sigma_right);
+
+/// Reference implementation via one dense inversion of the full matrix;
+/// O(dim^3) per energy, used only by tests to validate rgf_solve.
+RgfResult dense_reference_solve(const gnr::BlockTridiagonal& h, double energy_eV, double eta_eV,
+                                const linalg::CMatrix& sigma_left,
+                                const linalg::CMatrix& sigma_right);
+
+}  // namespace gnrfet::negf

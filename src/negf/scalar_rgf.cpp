@@ -1,0 +1,54 @@
+#include "negf/scalar_rgf.hpp"
+
+#include <stdexcept>
+
+namespace gnrfet::negf {
+
+using cplx = std::complex<double>;
+
+ScalarRgfResult scalar_rgf_solve(const ScalarChain& chain, double energy_eV, double eta_eV) {
+  const size_t n = chain.onsite.size();
+  if (n < 2) throw std::invalid_argument("scalar_rgf: need >= 2 sites");
+  if (chain.hopping.size() != n - 1) {
+    throw std::invalid_argument("scalar_rgf: hopping size mismatch");
+  }
+  const cplx e(energy_eV, eta_eV);
+  const cplx sig_l(0.0, -0.5 * chain.gamma_left);
+  const cplx sig_r(0.0, -0.5 * chain.gamma_right);
+
+  // Forward: left-connected g.
+  std::vector<cplx> gl(n);
+  gl[0] = 1.0 / (e - chain.onsite[0] - sig_l);
+  for (size_t c = 1; c < n; ++c) {
+    cplx a = e - chain.onsite[c];
+    if (c == n - 1) a -= sig_r;
+    const double v = chain.hopping[c - 1];
+    a -= v * v * gl[c - 1];
+    gl[c] = 1.0 / a;
+  }
+
+  // Backward: full diagonal plus the last-column elements
+  // G_{c,last} = -gL_c A_{c,c+1} G_{c+1,last} with A = -H.
+  std::vector<cplx> gd(n), gcol(n);
+  gd[n - 1] = gl[n - 1];
+  gcol[n - 1] = gl[n - 1];
+  for (size_t c = n - 1; c-- > 0;) {
+    const double v = chain.hopping[c];
+    gd[c] = gl[c] + gl[c] * v * gd[c + 1] * v * gl[c];
+    gcol[c] = gl[c] * v * gcol[c + 1];
+  }
+
+  ScalarRgfResult r;
+  r.transmission = chain.gamma_left * chain.gamma_right * std::norm(gcol[0]);
+  r.spectral_left.resize(n);
+  r.spectral_right.resize(n);
+  for (size_t c = 0; c < n; ++c) {
+    const double a_tot = -2.0 * gd[c].imag();
+    const double a_r = chain.gamma_right * std::norm(gcol[c]);
+    r.spectral_right[c] = a_r;
+    r.spectral_left[c] = std::max(0.0, a_tot - a_r);
+  }
+  return r;
+}
+
+}  // namespace gnrfet::negf

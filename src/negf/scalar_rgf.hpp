@@ -1,0 +1,31 @@
+#pragma once
+
+#include <complex>
+#include <vector>
+
+/// Scalar recursive Green's function for 1D chains — the fast path used by
+/// the uncoupled mode-space solver. Each transverse subband of the A-GNR is
+/// an SSH-like chain (alternating real hoppings) with one orbital per
+/// atomic column, so all RGF blocks are 1x1.
+namespace gnrfet::negf {
+
+struct ScalarChain {
+  /// Onsite energies per site (eV); size L.
+  std::vector<double> onsite;
+  /// Hoppings between site c and c+1 (eV); size L-1.
+  std::vector<double> hopping;
+  /// Contact broadenings (eV) on the first and last site (wide-band).
+  double gamma_left = 0.0;
+  double gamma_right = 0.0;
+};
+
+struct ScalarRgfResult {
+  double transmission = 0.0;
+  std::vector<double> spectral_left;   ///< A_L,cc per site
+  std::vector<double> spectral_right;  ///< A_R,cc per site
+};
+
+/// Solve the chain at E + i*eta.
+ScalarRgfResult scalar_rgf_solve(const ScalarChain& chain, double energy_eV, double eta_eV);
+
+}  // namespace gnrfet::negf

@@ -1,0 +1,200 @@
+#include "negf/transport.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "common/constants.hpp"
+#include "gnr/hamiltonian.hpp"
+#include "negf/rgf.hpp"
+#include "negf/scalar_rgf.hpp"
+#include "negf/selfenergy.hpp"
+
+namespace gnrfet::negf {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Bipolar charge for one orbital at one energy: electron density above
+/// the local mid-gap u (weighted by f), hole density below it (weighted by
+/// 1 - f), both spin-degenerate and injected from the two contacts.
+struct BipolarDensity {
+  double electrons = 0.0;
+  double holes = 0.0;
+};
+
+BipolarDensity bipolar_density(double a_l, double a_r, double energy, double u, double f1,
+                               double f2) {
+  BipolarDensity d;
+  if (energy >= u) {
+    d.electrons = 2.0 * (a_l * f1 + a_r * f2) / kTwoPi;
+  } else {
+    d.holes = 2.0 * (a_l * (1.0 - f1) + a_r * (1.0 - f2)) / kTwoPi;
+  }
+  return d;
+}
+
+}  // namespace
+
+TransportSolution solve_mode_space(const gnr::ModeSet& modes,
+                                   const std::vector<std::vector<double>>& potential_eV,
+                                   const TransportOptions& opts) {
+  const size_t ncol = potential_eV.size();
+  const size_t nlines = static_cast<size_t>(modes.n_index);
+  if (ncol < 4) throw std::invalid_argument("solve_mode_space: need >= 4 columns");
+  for (const auto& col : potential_eV) {
+    if (col.size() != nlines) {
+      throw std::invalid_argument("solve_mode_space: potential must be [columns][N]");
+    }
+  }
+
+  // Mode-averaged potential per column, and window bounds.
+  std::vector<std::vector<double>> u_mode(modes.modes.size(), std::vector<double>(ncol, 0.0));
+  double u_min = 1e300, u_max = -1e300, band_top = 0.0;
+  for (size_t p = 0; p < modes.modes.size(); ++p) {
+    const auto& m = modes.modes[p];
+    band_top = std::max(band_top, m.band_top_eV());
+    for (size_t c = 0; c < ncol; ++c) {
+      double u = 0.0;
+      for (size_t j = 0; j < nlines; ++j) u += m.weight[j] * potential_eV[c][j];
+      u_mode[p][c] = u;
+      u_min = std::min(u_min, u);
+      u_max = std::max(u_max, u);
+    }
+  }
+
+  const EnergyWindow win = charge_window(u_min, u_max, opts.mu_source_eV, opts.mu_drain_eV,
+                                         opts.kT_eV, band_top);
+  const EnergyGrid grid = make_energy_grid(win.lo, win.hi, opts.energy_step_eV);
+
+  TransportSolution sol;
+  sol.energies_eV = grid.points;
+  sol.transmission.assign(grid.points.size(), 0.0);
+  sol.electrons.assign(ncol, std::vector<double>(nlines, 0.0));
+  sol.holes.assign(ncol, std::vector<double>(nlines, 0.0));
+
+  // Per-mode chains are static except for onsite; reuse buffers.
+  ScalarChain chain;
+  chain.onsite.resize(ncol);
+  chain.hopping.resize(ncol - 1);
+  chain.gamma_left = opts.gamma_contact_eV;
+  chain.gamma_right = opts.gamma_contact_eV;
+
+  double current_integral = 0.0;  // Integral T (f1 - f2) dE
+  std::vector<double> col_n(ncol), col_p(ncol);
+
+  for (size_t p = 0; p < modes.modes.size(); ++p) {
+    const auto& m = modes.modes[p];
+    for (size_t c = 0; c + 1 < ncol; ++c) {
+      // Columns pair into dimers within a slice: bond (2m -> 2m+1) is the
+      // dimer hopping, (2m+1 -> 2m+2) the staircase hopping.
+      chain.hopping[c] = (c % 2 == 0) ? -m.t_dimer : -m.t_stair;
+    }
+    std::fill(col_n.begin(), col_n.end(), 0.0);
+    std::fill(col_p.begin(), col_p.end(), 0.0);
+    for (size_t c = 0; c < ncol; ++c) chain.onsite[c] = u_mode[p][c];
+
+    for (size_t ie = 0; ie < grid.points.size(); ++ie) {
+      const double e = grid.points[ie];
+      const double w = grid.weights[ie];
+      // Skip energies with no propagating/evanescent weight anywhere:
+      // outside [u_min - band_top, u_max + band_top] the spectral
+      // function of this mode is negligible.
+      if (e < u_min - m.band_top_eV() - 0.05 || e > u_max + m.band_top_eV() + 0.05) continue;
+      const ScalarRgfResult r = scalar_rgf_solve(chain, e, opts.eta_eV);
+      sol.transmission[ie] += m.degeneracy * r.transmission;
+      const double f1 = constants::fermi(e - opts.mu_source_eV, opts.kT_eV);
+      const double f2 = constants::fermi(e - opts.mu_drain_eV, opts.kT_eV);
+      current_integral += w * m.degeneracy * r.transmission * (f1 - f2);
+      for (size_t c = 0; c < ncol; ++c) {
+        const BipolarDensity d = bipolar_density(r.spectral_left[c], r.spectral_right[c], e,
+                                                 u_mode[p][c], f1, f2);
+        col_n[c] += w * m.degeneracy * d.electrons;
+        col_p[c] += w * m.degeneracy * d.holes;
+      }
+    }
+    // Distribute the mode charge across dimer lines with the mode weights.
+    for (size_t c = 0; c < ncol; ++c) {
+      for (size_t j = 0; j < nlines; ++j) {
+        sol.electrons[c][j] += col_n[c] * m.weight[j];
+        sol.holes[c][j] += col_p[c] * m.weight[j];
+      }
+    }
+  }
+
+  sol.current_A = constants::kCurrentPrefactor * current_integral;
+  for (size_t c = 0; c < ncol; ++c) {
+    for (size_t j = 0; j < nlines; ++j) {
+      sol.total_net_electrons += sol.electrons[c][j] - sol.holes[c][j];
+    }
+  }
+  return sol;
+}
+
+TransportSolution solve_real_space(const gnr::Lattice& lat,
+                                   const gnr::TightBindingParams& params,
+                                   const std::vector<double>& onsite_eV,
+                                   const TransportOptions& opts) {
+  const gnr::BlockTridiagonal h = build_hamiltonian(lat, params, onsite_eV);
+  const size_t nb = h.num_blocks();
+  const auto& slices = lat.slice_atoms();
+
+  double u_min = 1e300, u_max = -1e300;
+  for (const double u : onsite_eV) {
+    u_min = std::min(u_min, u);
+    u_max = std::max(u_max, u);
+  }
+  const double band_top = 3.0 * params.hopping_eV * (1.0 + params.edge_delta);
+  const EnergyWindow win = charge_window(u_min, u_max, opts.mu_source_eV, opts.mu_drain_eV,
+                                         opts.kT_eV, band_top);
+  const EnergyGrid grid = make_energy_grid(win.lo, win.hi, opts.energy_step_eV);
+
+  const linalg::CMatrix sig_l = wide_band_self_energy(h.diag.front().rows(), opts.gamma_contact_eV);
+  const linalg::CMatrix sig_r = wide_band_self_energy(h.diag.back().rows(), opts.gamma_contact_eV);
+
+  std::vector<double> n_per_atom(lat.atoms().size(), 0.0);
+  std::vector<double> p_per_atom(lat.atoms().size(), 0.0);
+  TransportSolution sol;
+  sol.energies_eV = grid.points;
+  sol.transmission.assign(grid.points.size(), 0.0);
+
+  double current_integral = 0.0;
+  for (size_t ie = 0; ie < grid.points.size(); ++ie) {
+    const double e = grid.points[ie];
+    const double w = grid.weights[ie];
+    const RgfResult r = rgf_solve(h, e, opts.eta_eV, sig_l, sig_r);
+    sol.transmission[ie] = r.transmission;
+    const double f1 = constants::fermi(e - opts.mu_source_eV, opts.kT_eV);
+    const double f2 = constants::fermi(e - opts.mu_drain_eV, opts.kT_eV);
+    current_integral += w * r.transmission * (f1 - f2);
+    size_t orb = 0;
+    for (size_t b = 0; b < nb; ++b) {
+      for (const size_t atom : slices[b]) {
+        const BipolarDensity d = bipolar_density(r.spectral_left[orb], r.spectral_right[orb],
+                                                 e, onsite_eV[atom], f1, f2);
+        n_per_atom[atom] += w * d.electrons;
+        p_per_atom[atom] += w * d.holes;
+        ++orb;
+      }
+    }
+  }
+  sol.current_A = constants::kCurrentPrefactor * current_integral;
+
+  // Resolve per (column, dimer line): each slice holds two columns; the
+  // column of an atom follows from its x offset within the slice.
+  const size_t ncol = lat.column_x_nm().size();
+  sol.electrons.assign(ncol, std::vector<double>(static_cast<size_t>(lat.n_index()), 0.0));
+  sol.holes.assign(ncol, std::vector<double>(static_cast<size_t>(lat.n_index()), 0.0));
+  for (size_t a = 0; a < lat.atoms().size(); ++a) {
+    const auto& atom = lat.atoms()[a];
+    const size_t col = static_cast<size_t>(2 * atom.slice) +
+                       (std::abs(atom.x_nm - lat.column_x_nm()[static_cast<size_t>(2 * atom.slice)]) < 1e-9 ? 0 : 1);
+    sol.electrons[col][static_cast<size_t>(atom.dimer_line)] += n_per_atom[a];
+    sol.holes[col][static_cast<size_t>(atom.dimer_line)] += p_per_atom[a];
+    sol.total_net_electrons += n_per_atom[a] - p_per_atom[a];
+  }
+  return sol;
+}
+
+}  // namespace gnrfet::negf

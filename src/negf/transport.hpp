@@ -1,0 +1,60 @@
+#pragma once
+
+#include <vector>
+
+#include "gnr/lattice.hpp"
+#include "gnr/modespace.hpp"
+#include "negf/energygrid.hpp"
+
+/// Ballistic transport drivers: integrate the RGF spectral quantities over
+/// energy to produce terminal current and the spatially resolved net mobile
+/// charge that feeds back into the Poisson equation.
+///
+/// Bipolar convention: the pz model is particle-hole symmetric, so the
+/// local charge-neutrality level equals the local mid-gap energy (the
+/// electrostatic potential energy U). States above it count as electrons
+/// weighted by f, states below as holes weighted by (1 - f); both injected
+/// from the two contacts with their own Fermi levels. Spin degeneracy 2 is
+/// included.
+namespace gnrfet::negf {
+
+/// Common transport settings.
+struct TransportOptions {
+  double gamma_contact_eV = 1.0;  ///< wide-band metal broadening
+  double mu_source_eV = 0.0;
+  double mu_drain_eV = 0.0;
+  double kT_eV = 0.02585;
+  double eta_eV = 1e-3;          ///< Green's-function broadening
+  double energy_step_eV = 2e-3;  ///< charge/current grid spacing
+};
+
+/// Solution of one bias point.
+struct TransportSolution {
+  double current_A = 0.0;
+  /// Electron and hole populations (both >= 0), spin included, resolved on
+  /// (column, dimer line); net charge is -e*(electrons - holes).
+  /// Dimensions: [num_columns][N].
+  std::vector<std::vector<double>> electrons;
+  std::vector<std::vector<double>> holes;
+  /// Total net electrons in the device: sum(electrons - holes).
+  double total_net_electrons = 0.0;
+  /// Transmission sampled on the integration grid.
+  std::vector<double> energies_eV;
+  std::vector<double> transmission;
+};
+
+/// Mode-space solve: `potential_eV[c][j]` is the electron potential energy
+/// (local mid-gap, eV) at column c and dimer line j; dimensions must be
+/// [num_columns][N]. This is the production path for table generation.
+TransportSolution solve_mode_space(const gnr::ModeSet& modes,
+                                   const std::vector<std::vector<double>>& potential_eV,
+                                   const TransportOptions& opts);
+
+/// Real-space solve on the atomistic lattice with per-atom onsite energies
+/// (eV). Reference path; used for validation and the band-profile figures.
+TransportSolution solve_real_space(const gnr::Lattice& lat,
+                                   const gnr::TightBindingParams& params,
+                                   const std::vector<double>& onsite_eV,
+                                   const TransportOptions& opts);
+
+}  // namespace gnrfet::negf

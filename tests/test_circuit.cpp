@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/measure.hpp"
+#include "circuit/snm.hpp"
+#include "synthetic_device.hpp"
+
+namespace {
+
+using namespace gnrfet;
+using namespace gnrfet::circuit;
+using model::Polarity;
+
+InverterModels synthetic_inverter(double offset = 0.12) {
+  const auto par = model::Parasitics::from_per_width(0.05, 40.0);
+  InverterModels m;
+  m.nfet = model::make_extrinsic(
+      model::ArrayFet::uniform(synthetic::synthetic_fet(Polarity::kN, offset), 4), par);
+  m.pfet = model::make_extrinsic(
+      model::ArrayFet::uniform(synthetic::synthetic_fet(Polarity::kP, offset), 4), par);
+  return m;
+}
+
+TEST(Dc, ResistorDivider) {
+  Circuit ckt;
+  const NodeId a = ckt.new_node();
+  const NodeId b = ckt.new_node();
+  ckt.add(std::make_unique<VoltageSource>(a, kGround, 1.0));
+  ckt.add(std::make_unique<Resistor>(a, b, 1000.0));
+  ckt.add(std::make_unique<Resistor>(b, kGround, 3000.0));
+  const DcResult dc = solve_dc(ckt);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.x[static_cast<size_t>(ckt.unknown_of_node(b))], 0.75, 1e-9);
+}
+
+TEST(Dc, VoltageSourceBranchCurrentSign) {
+  Circuit ckt;
+  const NodeId a = ckt.new_node();
+  auto src = std::make_unique<VoltageSource>(a, kGround, 2.0);
+  const size_t branch = src->branch();
+  ckt.add(std::move(src));
+  ckt.add(std::make_unique<Resistor>(a, kGround, 1000.0));
+  const DcResult dc = solve_dc(ckt);
+  ASSERT_TRUE(dc.converged);
+  // Load draws 2 mA from the supply: branch current (p->m through the
+  // source) is -2 mA, so delivered power is -V*i = +4 mW.
+  EXPECT_NEAR(dc.x[ckt.unknown_of_branch(branch)], -2e-3, 1e-9);
+}
+
+TEST(Transient, RcStepResponseMatchesAnalytic) {
+  Circuit ckt;
+  const NodeId in = ckt.new_node();
+  const NodeId out = ckt.new_node();
+  const double r = 10e3, c = 1e-15;  // tau = 10 ps
+  ckt.add(std::make_unique<VoltageSource>(in, kGround, pulse_waveform(0.0, 1.0, 5e-12, 1e-15)));
+  ckt.add(std::make_unique<Resistor>(in, out, r));
+  ckt.add(std::make_unique<Capacitor>(out, kGround, c));
+  TransientOptions opts;
+  opts.t_stop = 60e-12;
+  opts.dt = 0.05e-12;
+  const TransientResult tr = run_transient(ckt, opts);
+  ASSERT_TRUE(tr.ok);
+  const auto v = tr.waves.node(ckt, out);
+  for (size_t i = 0; i < tr.waves.time.size(); i += 100) {
+    const double t = tr.waves.time[i] - 5e-12;
+    const double expected = t <= 0 ? 0.0 : 1.0 - std::exp(-t / (r * c));
+    EXPECT_NEAR(v[i], expected, 0.01) << "t=" << tr.waves.time[i];
+  }
+}
+
+TEST(Transient, CapacitorBlocksDc) {
+  Circuit ckt;
+  const NodeId a = ckt.new_node();
+  const NodeId b = ckt.new_node();
+  ckt.add(std::make_unique<VoltageSource>(a, kGround, 1.0));
+  ckt.add(std::make_unique<Resistor>(a, b, 1e3));
+  ckt.add(std::make_unique<Capacitor>(b, kGround, 1e-15));
+  TransientOptions opts;
+  opts.t_stop = 50e-12;
+  opts.dt = 0.5e-12;
+  const TransientResult tr = run_transient(ckt, opts);
+  ASSERT_TRUE(tr.ok);
+  // Started from DC: the capacitor is already charged, nothing moves.
+  const auto v = tr.waves.node(ckt, b);
+  EXPECT_NEAR(v.back(), 1.0, 1e-6);
+}
+
+TEST(Vtc, InverterIsMonotoneAndRailToRail) {
+  const InverterModels inv = synthetic_inverter();
+  const Vtc vtc = compute_vtc(inv, 0.4);
+  EXPECT_GT(vtc.vout.front(), 0.9 * 0.4);
+  EXPECT_LT(vtc.vout.back(), 0.1 * 0.4);
+  for (size_t i = 1; i < vtc.vout.size(); ++i) {
+    // Allow a small ambipolar ripple: the off device weakens as vin rises.
+    EXPECT_LE(vtc.vout[i], vtc.vout[i - 1] + 2.5e-3);
+  }
+}
+
+TEST(Vtc, SymmetricInverterSwitchesAtMidRail) {
+  const InverterModels inv = synthetic_inverter();
+  const Vtc vtc = compute_vtc(inv, 0.4);
+  // Find the input where vout crosses VDD/2.
+  double v_switch = 0.0;
+  for (size_t i = 1; i < vtc.vin.size(); ++i) {
+    if (vtc.vout[i - 1] >= 0.2 && vtc.vout[i] < 0.2) {
+      v_switch = 0.5 * (vtc.vin[i - 1] + vtc.vin[i]);
+      break;
+    }
+  }
+  EXPECT_NEAR(v_switch, 0.2, 0.03);
+}
+
+TEST(Snm, SymmetricButterflyLobesAreEqual) {
+  const InverterModels inv = synthetic_inverter();
+  const Vtc vtc = compute_vtc(inv, 0.4);
+  const double l1 = butterfly_lobe(vtc, vtc);
+  const Vtc ivt = invert_vtc(vtc);
+  const double l2 = butterfly_lobe(ivt, ivt);
+  EXPECT_GT(l1, 0.02);
+  EXPECT_NEAR(l1, l2, 0.01);
+  EXPECT_NEAR(butterfly_snm(vtc, vtc), std::min(l1, l2), 1e-9);
+}
+
+TEST(Snm, DegradedInverterReducesSnm) {
+  const InverterModels good = synthetic_inverter(0.12);
+  // Skewed pair: weak offset mismatches the VTC switching point.
+  InverterModels skewed = good;
+  const auto par = model::Parasitics::from_per_width(0.05, 40.0);
+  skewed.nfet = model::make_extrinsic(
+      model::ArrayFet::uniform(synthetic::synthetic_fet(Polarity::kN, 0.3), 4), par);
+  const Vtc a = compute_vtc(good, 0.4);
+  const Vtc b = compute_vtc(skewed, 0.4);
+  EXPECT_LT(butterfly_snm(b, b), butterfly_snm(a, a));
+}
+
+TEST(Measure, CrossingTimesAndFrequency) {
+  std::vector<double> t, v;
+  const double f = 2e9;
+  for (int i = 0; i <= 2000; ++i) {
+    t.push_back(i * 1e-12);
+    v.push_back(0.5 + 0.4 * std::sin(2 * M_PI * f * t.back()));
+  }
+  const auto rises = crossing_times(t, v, 0.5, true);
+  EXPECT_GE(rises.size(), 3u);
+  EXPECT_NEAR(oscillation_frequency(t, v, 0.5), f, 0.02 * f);
+}
+
+TEST(Measure, InverterMetricsAreSane) {
+  const InverterModels inv = synthetic_inverter();
+  InverterMeasureOptions opts;
+  opts.vdd = 0.4;
+  opts.probe_period_s = 120e-12;
+  opts.dt_s = 0.1e-12;
+  const InverterMetrics m = measure_inverter(inv, inv, opts);
+  ASSERT_TRUE(m.ok);
+  EXPECT_GT(m.delay_s, 0.1e-12);
+  EXPECT_LT(m.delay_s, 40e-12);
+  EXPECT_GT(m.dynamic_power_W, 0.0);
+  EXPECT_GT(m.static_power_W, 0.0);
+  EXPECT_GT(m.snm_V, 0.02);
+}
+
+TEST(Measure, RingOscillatorOscillates) {
+  const InverterModels inv = synthetic_inverter();
+  RingMeasureOptions opts;
+  opts.vdd = 0.4;
+  opts.t_stop_s = 1.0e-9;
+  opts.dt_s = 0.5e-12;
+  const RingMetrics m =
+      measure_ring_oscillator(std::vector<InverterModels>(15, inv), inv, opts);
+  ASSERT_TRUE(m.ok);
+  EXPECT_GT(m.frequency_Hz, 0.5e9);
+  EXPECT_LT(m.frequency_Hz, 100e9);
+  EXPECT_GT(m.total_power_W, m.static_power_W);
+  EXPECT_GT(m.edp_Js, 0.0);
+}
+
+TEST(Latch, IsBistable) {
+  const InverterModels inv = synthetic_inverter();
+  Latch latch = build_latch(inv, inv, 0.4);
+  // Seed Newton at the two states.
+  std::vector<double> seed_a(latch.ckt.num_unknowns(), 0.0);
+  seed_a[static_cast<size_t>(latch.ckt.unknown_of_node(latch.vdd_node))] = 0.4;
+  std::vector<double> seed_b = seed_a;
+  seed_a[static_cast<size_t>(latch.ckt.unknown_of_node(latch.q))] = 0.4;
+  seed_b[static_cast<size_t>(latch.ckt.unknown_of_node(latch.qb))] = 0.4;
+  const DcResult a = solve_dc(latch.ckt, seed_a);
+  const DcResult b = solve_dc(latch.ckt, seed_b);
+  ASSERT_TRUE(a.converged);
+  ASSERT_TRUE(b.converged);
+  // Two distinct stable states near the rails (which seed lands on which
+  // state is solver-dependent; bistability is what matters).
+  const double qa = a.x[static_cast<size_t>(latch.ckt.unknown_of_node(latch.q))];
+  const double qb = b.x[static_cast<size_t>(latch.ckt.unknown_of_node(latch.q))];
+  EXPECT_GT(std::abs(qa - qb), 0.25);
+  EXPECT_GT(std::max(qa, qb), 0.3);
+  EXPECT_LT(std::min(qa, qb), 0.1);
+}
+
+TEST(Elements, GateLoadCapacitanceIsPositive) {
+  const InverterModels inv = synthetic_inverter();
+  Circuit ckt;
+  const NodeId n = ckt.new_node();
+  InverterGateLoad load(inv.nfet, inv.pfet, n, 0.4);
+  for (double v : {0.0, 0.2, 0.4}) {
+    EXPECT_GT(load.capacitance(v), 1e-19);
+    EXPECT_LT(load.capacitance(v), 1e-15);
+  }
+}
+
+}  // namespace

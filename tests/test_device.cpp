@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "device/geometry.hpp"
+#include "device/selfconsistent.hpp"
+#include "device/sweeps.hpp"
+#include "device/tablegen.hpp"
+
+namespace {
+
+using namespace gnrfet;
+using namespace gnrfet::device;
+
+/// Small, coarse device for fast tests (short channel, coarse mesh and
+/// energy grid) — still a real self-consistent NEGF-Poisson solve.
+DeviceSpec tiny_spec(int n_index = 12) {
+  DeviceSpec s;
+  s.n_index = n_index;
+  s.channel_length_nm = 6.0;
+  s.grid_step_nm = 0.35;
+  s.lateral_margin_nm = 2.0;
+  s.num_modes = 2;
+  return s;
+}
+
+SolveOptions fast_opts() {
+  SolveOptions o;
+  o.energy_step_eV = 5e-3;
+  o.gummel_tolerance_V = 3e-3;
+  return o;
+}
+
+TEST(DeviceGeometry, GridAndLatticeAreConsistent) {
+  const DeviceGeometry geo(tiny_spec());
+  const auto& g = geo.domain().spec();
+  // GNR plane z = 0 must be a grid plane.
+  bool has_zero = false;
+  for (size_t k = 0; k < g.nz; ++k) {
+    if (std::abs(g.z(k)) < 1e-9) has_zero = true;
+  }
+  EXPECT_TRUE(has_zero);
+  // Columns must lie strictly inside the Poisson domain.
+  for (size_t c = 0; c < geo.lattice().column_x_nm().size(); ++c) {
+    EXPECT_GT(geo.column_x(c), 0.0);
+    EXPECT_LT(geo.column_x(c), g.x_max());
+  }
+  // Four electrodes: source, drain, bottom gate, top gate.
+  EXPECT_EQ(geo.domain().num_electrodes(), 4);
+  EXPECT_EQ(geo.electrode_voltages(0.0, 0.5, 0.3), (std::vector<double>{0.0, 0.5, 0.3, 0.3}));
+}
+
+TEST(DeviceGeometry, ImpurityChargeIsDeposited) {
+  DeviceSpec s = tiny_spec();
+  s.impurities.push_back({-2.0, 1.0, 0.0, 0.4});
+  const DeviceGeometry geo(s);
+  double total = 0.0;
+  for (const double v : geo.impurity_charge()) total += v;
+  EXPECT_NEAR(total, -2.0, 1e-9);
+}
+
+TEST(DeviceSpec, CacheKeyDistinguishesConfigs) {
+  DeviceSpec a = tiny_spec();
+  DeviceSpec b = tiny_spec();
+  EXPECT_EQ(a.cache_key(), b.cache_key());
+  b.impurities.push_back({1.0, 1.0, 0.0, 0.4});
+  EXPECT_NE(a.cache_key(), b.cache_key());
+  DeviceSpec c = tiny_spec(15);
+  EXPECT_NE(a.cache_key(), c.cache_key());
+}
+
+TEST(SelfConsistent, ConvergesAndIsAmbipolar) {
+  const DeviceGeometry geo(tiny_spec());
+  const SelfConsistentSolver solver(geo, fast_opts());
+  const DeviceSolution on = solver.solve({0.5, 0.5});
+  ASSERT_TRUE(on.converged);
+  EXPECT_GT(on.current_A, 1e-8);
+  const DeviceSolution mid = solver.solve({0.25, 0.5}, &on);
+  ASSERT_TRUE(mid.converged);
+  const DeviceSolution low = solver.solve({0.0, 0.5}, &mid);
+  ASSERT_TRUE(low.converged);
+  // Ambipolar: minimum leakage near VG = VD/2, hole branch rises again.
+  EXPECT_LT(mid.current_A, on.current_A);
+  EXPECT_GT(low.current_A, mid.current_A);
+}
+
+TEST(SelfConsistent, ZeroDrainBiasZeroCurrent) {
+  const DeviceGeometry geo(tiny_spec());
+  const SelfConsistentSolver solver(geo, fast_opts());
+  const DeviceSolution sol = solver.solve({0.4, 0.0});
+  ASSERT_TRUE(sol.converged);
+  EXPECT_NEAR(sol.current_A, 0.0, 1e-12);
+}
+
+TEST(SelfConsistent, WarmStartReducesIterations) {
+  const DeviceGeometry geo(tiny_spec());
+  const SelfConsistentSolver solver(geo, fast_opts());
+  const DeviceSolution cold = solver.solve({0.4, 0.4});
+  const DeviceSolution warm = solver.solve({0.45, 0.4}, &cold);
+  EXPECT_LT(warm.iterations, cold.iterations);
+}
+
+TEST(SelfConsistent, BandProfilePinnedAtContacts) {
+  const DeviceGeometry geo(tiny_spec());
+  const SelfConsistentSolver solver(geo, fast_opts());
+  const DeviceSolution sol = solver.solve({0.5, 0.5});
+  // Mid-gap near the source contact approaches the source Fermi level (0);
+  // near the drain it approaches -VD. The gate pushes the interior down.
+  EXPECT_NEAR(sol.midgap_profile_eV.front(), 0.0, 0.15);
+  EXPECT_NEAR(sol.midgap_profile_eV.back(), -0.5, 0.2);
+  double interior_min = 1e9;
+  for (const double u : sol.midgap_profile_eV) interior_min = std::min(interior_min, u);
+  EXPECT_LT(interior_min, -0.3);
+}
+
+TEST(SelfConsistent, ImpurityPolarityShiftsSchottkyBarrier) {
+  DeviceSpec sm = tiny_spec();
+  sm.impurities.push_back({-2.0, 1.0, 0.0, 0.4});
+  DeviceSpec sp = tiny_spec();
+  sp.impurities.push_back({2.0, 1.0, 0.0, 0.4});
+  const SolveOptions opts = fast_opts();
+  const DeviceSolution ideal = SelfConsistentSolver(DeviceGeometry(tiny_spec()), opts).solve({0.5, 0.5});
+  const DeviceSolution neg = SelfConsistentSolver(DeviceGeometry(sm), opts).solve({0.5, 0.5});
+  const DeviceSolution pos = SelfConsistentSolver(DeviceGeometry(sp), opts).solve({0.5, 0.5});
+  // The negative impurity raises the source Schottky barrier and cuts the
+  // n-branch on-current; the positive one lowers/thins the barrier.
+  EXPECT_LT(neg.current_A, 0.9 * ideal.current_A);
+  EXPECT_GT(neg.current_A, 0.0);
+  EXPECT_GT(pos.current_A, ideal.current_A);
+}
+
+TEST(Sweeps, ThresholdExtractionOnKnownCurve) {
+  // Piecewise-linear "transistor": I = gm * (vg - 0.3) above threshold.
+  std::vector<double> vg, id;
+  for (int i = 0; i <= 20; ++i) {
+    const double v = 0.05 * i;
+    vg.push_back(v);
+    id.push_back(v < 0.3 ? 1e-9 : 2e-5 * (v - 0.3));
+  }
+  EXPECT_NEAR(device::extract_threshold_voltage(vg, id), 0.3, 0.06);
+}
+
+TEST(Sweeps, VoltageAxis) {
+  const auto v = voltage_axis(0.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.5);
+  EXPECT_DOUBLE_EQ(v[4], 1.0);
+  EXPECT_THROW(voltage_axis(0, 1, 1), std::invalid_argument);
+}
+
+TEST(TableGen, SaveLoadRoundTrip) {
+  DeviceTable t;
+  t.vg = {0.0, 0.1, 0.2};
+  t.vd = {0.0, 0.5};
+  t.band_gap_eV = 0.61;
+  for (size_t i = 0; i < 6; ++i) {
+    t.current_A.push_back(1e-6 * static_cast<double>(i));
+    t.charge_C.push_back(-1e-19 * static_cast<double>(i));
+  }
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gnrfet_table_test.csv").string();
+  save_table(t, path, "test-key");
+  const DeviceTable r = load_table(path);
+  EXPECT_EQ(r.vg.size(), 3u);
+  EXPECT_EQ(r.vd.size(), 2u);
+  EXPECT_NEAR(r.band_gap_eV, 0.61, 1e-9);
+  EXPECT_DOUBLE_EQ(r.at_current(2, 1), t.at_current(2, 1));
+  EXPECT_DOUBLE_EQ(r.at_charge(1, 0), t.at_charge(1, 0));
+  std::filesystem::remove(path);
+}
+
+TEST(TableGen, TinyEndToEndGeneration) {
+  // Full pipeline on a 2x2 bias grid with the tiny device; exercises the
+  // warm-started grid walk and the charge sign convention.
+  TableGenOptions opts;
+  opts.vg_points = 2;
+  opts.vd_points = 2;
+  opts.vg_max = 0.5;
+  opts.vd_max = 0.5;
+  opts.solve = fast_opts();
+  opts.use_cache = false;
+  DeviceSpec spec = tiny_spec();
+  const DeviceTable t = generate_device_table(spec, opts);
+  EXPECT_EQ(t.current_A.size(), 4u);
+  // I(VD=0) = 0; I grows with VD at fixed VG.
+  EXPECT_NEAR(t.at_current(1, 0), 0.0, 1e-12);
+  EXPECT_GT(t.at_current(1, 1), 0.0);
+  // On state holds electrons: negative channel charge at high VG.
+  EXPECT_LT(t.at_charge(1, 1), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "circuit/measure.hpp"
+#include "common/cache.hpp"
+#include "explore/contours.hpp"
+#include "negf/energygrid.hpp"
+#include "synthetic_device.hpp"
+
+namespace {
+
+using namespace gnrfet;
+
+TEST(EnergyGridEdge, RejectsDegenerateWindow) {
+  EXPECT_THROW(negf::make_energy_grid(1.0, 1.0, 0.01), std::invalid_argument);
+  EXPECT_THROW(negf::make_energy_grid(0.0, 1.0, -0.1), std::invalid_argument);
+}
+
+TEST(EnergyGridEdge, WindowCoversFullyOccupiedStatesUnderGateOverdrive) {
+  // Deep gate overdrive pulls the local mid-gap below both chemical
+  // potentials; the window must still include those fully occupied
+  // conduction states (they carry net charge).
+  const auto w = negf::charge_window(/*min_midgap=*/-0.9, /*max_midgap=*/0.0,
+                                     /*mu_s=*/0.0, /*mu_d=*/-0.25, 0.0259, 8.1);
+  EXPECT_LT(w.lo, -0.9);
+  EXPECT_GT(w.hi, 0.25);
+}
+
+TEST(ContoursEdge, SaddleCellEmitsTwoSegments) {
+  // Checkerboard cell: values 0,1 / 1,0 with level 0.5 is the classic
+  // marching-squares saddle.
+  const std::vector<double> xs = {0.0, 1.0}, ys = {0.0, 1.0};
+  const std::vector<double> f = {0.0, 1.0, 1.0, 0.0};
+  const auto segs = explore::contour_segments(xs, ys, f, 0.5);
+  EXPECT_EQ(segs.size(), 2u);
+}
+
+TEST(MeasureEdge, CrossingTimesEmptyForFlatWave) {
+  const std::vector<double> t = {0.0, 1.0, 2.0};
+  const std::vector<double> v = {0.2, 0.2, 0.2};
+  EXPECT_TRUE(circuit::crossing_times(t, v, 0.5, true).empty());
+  EXPECT_EQ(circuit::oscillation_frequency(t, v, 0.5), 0.0);
+}
+
+TEST(MeasureEdge, AverageAfterRespectsWindow) {
+  const std::vector<double> t = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> v = {0.0, 0.0, 4.0, 4.0};
+  // From t=2 the waveform is flat at 4.
+  EXPECT_NEAR(circuit::average_after(t, v, 2.0), 4.0, 1e-12);
+}
+
+TEST(CacheEdge, EnvironmentOverrideWins) {
+  setenv("GNRFET_CACHE_DIR", "/tmp/gnrfet-cache-test", 1);
+  const std::string dir = cache::directory();
+  EXPECT_EQ(dir, "/tmp/gnrfet-cache-test");
+  unsetenv("GNRFET_CACHE_DIR");
+}
+
+TEST(SyntheticModel, ChargeDerivativesGiveSaneCapacitances) {
+  // The capacitance-extraction convention of Sec. 3 must produce positive
+  // CGD,i and CGS,i in the on-state.
+  const auto n = synthetic::synthetic_fet(model::Polarity::kN, 0.1);
+  const auto q = n.charge(0.4, 0.3);
+  const double cgd = std::abs(q.d_dvds);
+  const double cgs = std::abs(q.d_dvgs) - cgd;
+  EXPECT_GT(cgs, 0.0);
+  EXPECT_LT(cgs, 1e-15);
+  EXPECT_GE(cgd, 0.0);
+}
+
+TEST(PulseWaveform, RampIsPiecewiseLinear) {
+  const auto w = circuit::pulse_waveform(0.0, 1.0, 10e-12, 4e-12);
+  EXPECT_DOUBLE_EQ(w(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(w(10e-12), 0.0);
+  EXPECT_NEAR(w(12e-12), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(w(20e-12), 1.0);
+}
+
+}  // namespace

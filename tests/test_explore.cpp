@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "explore/contours.hpp"
+#include "explore/montecarlo.hpp"
+#include "explore/tech_explore.hpp"
+
+namespace {
+
+using namespace gnrfet;
+
+TEST(Contours, CircleLevelSet) {
+  // f(x,y) = x^2 + y^2 over [-1,1]^2; the 0.25 level is a circle of
+  // radius 0.5: all segment endpoints must sit near that radius.
+  std::vector<double> xs, ys;
+  for (int i = 0; i <= 40; ++i) xs.push_back(-1.0 + 0.05 * i);
+  ys = xs;
+  std::vector<double> f(xs.size() * ys.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    for (size_t j = 0; j < ys.size(); ++j) {
+      f[i * ys.size() + j] = xs[i] * xs[i] + ys[j] * ys[j];
+    }
+  }
+  const auto segs = explore::contour_segments(xs, ys, f, 0.25);
+  EXPECT_GT(segs.size(), 20u);
+  for (const auto& s : segs) {
+    EXPECT_NEAR(std::hypot(s.x1, s.y1), 0.5, 0.03);
+    EXPECT_NEAR(std::hypot(s.x2, s.y2), 0.5, 0.03);
+  }
+}
+
+TEST(Contours, NoSegmentsWhenLevelOutsideRange) {
+  std::vector<double> xs = {0, 1}, ys = {0, 1};
+  std::vector<double> f = {0, 0, 0, 0};
+  EXPECT_TRUE(explore::contour_segments(xs, ys, f, 5.0).empty());
+}
+
+TEST(MonteCarlo, DiscretizedNormalProbabilities) {
+  explore::DiscretizedNormal dist;
+  std::mt19937 rng(7);
+  int counts[3] = {0, 0, 0};
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) counts[dist.draw(rng) + 1]++;
+  EXPECT_NEAR(counts[0] / double(n), 0.3085, 0.01);
+  EXPECT_NEAR(counts[1] / double(n), 0.3829, 0.01);
+  EXPECT_NEAR(counts[2] / double(n), 0.3085, 0.01);
+}
+
+TEST(MonteCarlo, HistogramCountsAllValues) {
+  const std::vector<double> v = {0.0, 0.1, 0.2, 0.5, 0.9, 1.0, 1.0};
+  const auto h = explore::histogram(v, 4);
+  int total = 0;
+  for (const int c : h.counts) total += c;
+  EXPECT_EQ(total, 7);
+  ASSERT_EQ(h.bin_centers.size(), 4u);
+  EXPECT_LT(h.bin_centers.front(), h.bin_centers.back());
+}
+
+TEST(OperatingPoints, SelectionLogicOnSyntheticGrid) {
+  // Synthetic plane: EDP grows with vdd, frequency with vdd, SNM with vdd
+  // and (weakly) with vt.
+  std::vector<explore::ExplorePoint> grid;
+  for (double vdd = 0.2; vdd <= 0.61; vdd += 0.1) {
+    for (double vt = 0.05; vt <= 0.26; vt += 0.05) {
+      explore::ExplorePoint p;
+      p.ok = true;
+      p.vdd = vdd;
+      p.vt = vt;
+      p.frequency_Hz = 12e9 * vdd * (1.0 - vt);
+      p.edp_Js = 1e-27 * (vdd * vdd) * (1.0 + vt);
+      p.snm_V = 0.4 * vdd * (0.5 + vt);
+      grid.push_back(p);
+    }
+  }
+  const auto pts = explore::find_operating_points(grid, 3e9, 0.08);
+  ASSERT_TRUE(pts.a.ok);
+  ASSERT_TRUE(pts.b.ok);
+  EXPECT_GE(pts.a.frequency_Hz, 3e9);
+  EXPECT_GE(pts.b.frequency_Hz, 3e9);
+  EXPECT_GE(pts.b.snm_V, 0.08);
+  // A ignores the SNM constraint, so its EDP can only be <= B's.
+  EXPECT_LE(pts.a.edp_Js, pts.b.edp_Js + 1e-40);
+  // C never decreases VT relative to B.
+  EXPECT_GE(pts.c.vt, pts.b.vt);
+}
+
+TEST(StandardTableOptions, MatchesCacheContract) {
+  const auto opts = explore::standard_table_options();
+  EXPECT_EQ(opts.vg_points, 21u);
+  EXPECT_EQ(opts.vd_points, 16u);
+  EXPECT_DOUBLE_EQ(opts.vg_max, 1.0);
+  EXPECT_DOUBLE_EQ(opts.vd_max, 0.75);
+}
+
+}  // namespace

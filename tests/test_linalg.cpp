@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/dense.hpp"
+#include "linalg/eig.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/pcg.hpp"
+#include "linalg/sparse.hpp"
+
+namespace {
+
+using gnrfet::linalg::CMatrix;
+using gnrfet::linalg::cplx;
+using gnrfet::linalg::DMatrix;
+
+CMatrix random_matrix(size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  CMatrix m(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) m(i, j) = cplx(d(rng), d(rng));
+  }
+  return m;
+}
+
+CMatrix random_hermitian(size_t n, unsigned seed) {
+  CMatrix a = random_matrix(n, seed);
+  return gnrfet::linalg::hermitian_part(a);
+}
+
+TEST(Dense, MultiplyIdentity) {
+  const CMatrix a = random_matrix(7, 1);
+  const CMatrix i = CMatrix::identity(7);
+  const CMatrix ai = a * i;
+  for (size_t r = 0; r < 7; ++r) {
+    for (size_t c = 0; c < 7; ++c) {
+      EXPECT_NEAR(std::abs(ai(r, c) - a(r, c)), 0.0, 1e-14);
+    }
+  }
+}
+
+TEST(Dense, AdjointIsConjugateTranspose) {
+  const CMatrix a = random_matrix(5, 2);
+  const CMatrix ad = a.adjoint();
+  for (size_t r = 0; r < 5; ++r) {
+    for (size_t c = 0; c < 5; ++c) {
+      EXPECT_EQ(ad(r, c), std::conj(a(c, r)));
+    }
+  }
+}
+
+TEST(Dense, ShapeMismatchThrows) {
+  CMatrix a(3, 3), b(4, 4);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  CMatrix c(3, 4), d(3, 4);
+  EXPECT_THROW(c * d, std::invalid_argument);
+}
+
+TEST(LU, SolveRecoversKnownSolution) {
+  const size_t n = 12;
+  const CMatrix a = random_matrix(n, 3);
+  std::vector<cplx> x_true(n);
+  for (size_t i = 0; i < n; ++i) x_true[i] = cplx(double(i) + 0.5, -double(i));
+  std::vector<cplx> b(n);
+  for (size_t i = 0; i < n; ++i) {
+    cplx s = 0.0;
+    for (size_t j = 0; j < n; ++j) s += a(i, j) * x_true[j];
+    b[i] = s;
+  }
+  const auto x = gnrfet::linalg::LU(a).solve(b);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(std::abs(x[i] - x_true[i]), 0.0, 1e-9);
+}
+
+TEST(LU, InverseTimesMatrixIsIdentity) {
+  const CMatrix a = random_matrix(10, 4);
+  const CMatrix ainv = gnrfet::linalg::inverse(a);
+  const CMatrix prod = a * ainv;
+  const CMatrix eye = CMatrix::identity(10);
+  CMatrix diff = prod;
+  diff -= eye;
+  EXPECT_LT(gnrfet::linalg::frobenius_norm(diff), 1e-9);
+}
+
+TEST(LU, SingularThrows) {
+  CMatrix a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = 1.0;  // row/col 2 all zero
+  EXPECT_THROW(gnrfet::linalg::LU lu(a), std::runtime_error);
+}
+
+TEST(LU, RealSolve) {
+  DMatrix a(3, 3);
+  a(0, 0) = 4;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  a(2, 2) = 2;
+  const std::vector<double> b = {1.0, 2.0, 4.0};
+  const auto x = gnrfet::linalg::LUReal(a).solve(b);
+  EXPECT_NEAR(4 * x[0] + x[1], 1.0, 1e-12);
+  EXPECT_NEAR(x[0] + 3 * x[1], 2.0, 1e-12);
+  EXPECT_NEAR(2 * x[2], 4.0, 1e-12);
+}
+
+TEST(Eigh, DiagonalizesHermitian) {
+  const size_t n = 9;
+  const CMatrix a = random_hermitian(n, 5);
+  const auto eig = gnrfet::linalg::eigh(a);
+  // A V = V diag(lambda)
+  const CMatrix av = a * eig.vectors;
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(std::abs(av(i, j) - eig.values[j] * eig.vectors(i, j)), 0.0, 1e-8);
+    }
+  }
+  // Eigenvalues ascending.
+  for (size_t j = 1; j < n; ++j) EXPECT_GE(eig.values[j], eig.values[j - 1] - 1e-12);
+}
+
+TEST(Eigh, UnitaryEigenvectors) {
+  const CMatrix a = random_hermitian(8, 6);
+  const auto eig = gnrfet::linalg::eigh(a);
+  const CMatrix vtv = eig.vectors.adjoint() * eig.vectors;
+  CMatrix diff = vtv;
+  diff -= CMatrix::identity(8);
+  EXPECT_LT(gnrfet::linalg::frobenius_norm(diff), 1e-8);
+}
+
+TEST(Eigh, RejectsNonHermitian) {
+  CMatrix a(2, 2);
+  a(0, 1) = cplx(1.0, 0.0);
+  a(1, 0) = cplx(5.0, 0.0);
+  EXPECT_THROW(gnrfet::linalg::eigh(a), std::invalid_argument);
+}
+
+TEST(Eigh, KnownTwoByTwo) {
+  CMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = -1.0;
+  a(0, 1) = cplx(0.0, 2.0);
+  a(1, 0) = cplx(0.0, -2.0);
+  const auto eig = gnrfet::linalg::eigh(a);
+  const double r = std::sqrt(5.0);
+  EXPECT_NEAR(eig.values[0], -r, 1e-10);
+  EXPECT_NEAR(eig.values[1], r, 1e-10);
+}
+
+TEST(Sparse, CsrAccumulatesDuplicates) {
+  gnrfet::linalg::SparseBuilder b(3);
+  b.add(0, 0, 1.0);
+  b.add(0, 0, 2.0);
+  b.add(1, 2, -1.0);
+  b.add(2, 2, 4.0);
+  const gnrfet::linalg::SparseMatrix m(b);
+  std::vector<double> y;
+  m.multiply({1.0, 1.0, 1.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+  EXPECT_DOUBLE_EQ(y[2], 4.0);
+}
+
+TEST(Sparse, AddToDiagonal) {
+  gnrfet::linalg::SparseBuilder b(2);
+  b.add(0, 0, 1.0);
+  b.add(1, 1, 1.0);
+  gnrfet::linalg::SparseMatrix m(b);
+  m.add_to_diagonal(0, 5.0);
+  std::vector<double> y;
+  m.multiply({1.0, 0.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+}
+
+TEST(Pcg, SolvesLaplacian1D) {
+  const size_t n = 50;
+  gnrfet::linalg::SparseBuilder b(n);
+  for (size_t i = 0; i < n; ++i) {
+    b.add(i, i, 2.0);
+    if (i > 0) b.add(i, i - 1, -1.0);
+    if (i + 1 < n) b.add(i, i + 1, -1.0);
+  }
+  const gnrfet::linalg::SparseMatrix a(b);
+  std::vector<double> rhs(n, 1.0);
+  std::vector<double> x(n, 0.0);
+  const auto res = gnrfet::linalg::pcg_solve(a, rhs, x);
+  ASSERT_TRUE(res.converged);
+  std::vector<double> ax;
+  a.multiply(x, ax);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], 1.0, 1e-7);
+}
+
+TEST(Pcg, WarmStartConvergesInstantly) {
+  const size_t n = 20;
+  gnrfet::linalg::SparseBuilder b(n);
+  for (size_t i = 0; i < n; ++i) b.add(i, i, 3.0);
+  const gnrfet::linalg::SparseMatrix a(b);
+  std::vector<double> rhs(n, 6.0);
+  std::vector<double> x(n, 2.0);  // exact solution
+  const auto res = gnrfet::linalg::pcg_solve(a, rhs, x);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LE(res.iterations, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/array_fet.hpp"
+#include "model/extrinsic_fet.hpp"
+#include "model/table2d.hpp"
+#include "synthetic_device.hpp"
+
+namespace {
+
+using namespace gnrfet;
+using model::Polarity;
+using model::Table2D;
+
+TEST(Table2D, ReproducesBilinearFunctionExactly) {
+  // Catmull-Rom reproduces polynomials up to cubic along each axis.
+  std::vector<double> xs, ys, v;
+  for (int i = 0; i < 9; ++i) xs.push_back(0.1 * i);
+  for (int j = 0; j < 7; ++j) ys.push_back(0.2 * j);
+  for (double x : xs) {
+    for (double y : ys) v.push_back(2.0 + 3.0 * x - 1.5 * y + 0.7 * x * y);
+  }
+  const Table2D t(xs, ys, v);
+  const auto s = t.sample(0.33, 0.71);
+  EXPECT_NEAR(s.value, 2.0 + 3.0 * 0.33 - 1.5 * 0.71 + 0.7 * 0.33 * 0.71, 1e-10);
+  EXPECT_NEAR(s.d_dx, 3.0 + 0.7 * 0.71, 1e-8);
+  EXPECT_NEAR(s.d_dy, -1.5 + 0.7 * 0.33, 1e-8);
+}
+
+TEST(Table2D, DerivativesMatchFiniteDifferences) {
+  std::vector<double> xs, ys, v;
+  for (int i = 0; i < 11; ++i) xs.push_back(0.1 * i);
+  for (int j = 0; j < 11; ++j) ys.push_back(0.1 * j);
+  for (double x : xs) {
+    for (double y : ys) v.push_back(std::sin(3 * x) * std::cos(2 * y));
+  }
+  const Table2D t(xs, ys, v);
+  const double h = 1e-6;
+  for (double x : {0.23, 0.55, 0.81}) {
+    for (double y : {0.18, 0.64}) {
+      const auto s = t.sample(x, y);
+      const double fd_x = (t.value(x + h, y) - t.value(x - h, y)) / (2 * h);
+      const double fd_y = (t.value(x, y + h) - t.value(x, y - h)) / (2 * h);
+      EXPECT_NEAR(s.d_dx, fd_x, 1e-5);
+      EXPECT_NEAR(s.d_dy, fd_y, 1e-5);
+    }
+  }
+}
+
+TEST(Table2D, LinearExtrapolationOutsideDomain) {
+  std::vector<double> xs = {0.0, 0.5, 1.0};
+  std::vector<double> ys = {0.0, 1.0};
+  std::vector<double> v = {0.0, 0.0, 1.0, 1.0, 2.0, 2.0};  // v = 2x
+  const Table2D t(xs, ys, v);
+  EXPECT_NEAR(t.value(1.5, 0.5), 3.0, 1e-9);
+  EXPECT_NEAR(t.value(-0.5, 0.5), -1.0, 1e-9);
+}
+
+TEST(Table2D, RejectsNonUniformAxis) {
+  EXPECT_THROW(Table2D({0.0, 0.1, 0.5}, {0.0, 1.0}, std::vector<double>(6, 0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(Table2D({0.0, 0.1}, {0.0, 0.1}, std::vector<double>(3, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(IntrinsicFet, PTypeIsParticleHoleMirror) {
+  const auto n = synthetic::synthetic_fet(Polarity::kN, 0.05);
+  const auto p = synthetic::synthetic_fet(Polarity::kP, 0.05);
+  for (double vgs : {0.1, 0.3, 0.5}) {
+    for (double vds : {0.1, 0.4}) {
+      EXPECT_NEAR(p.current(-vgs, -vds).value, -n.current(vgs, vds).value, 1e-18);
+      EXPECT_NEAR(p.charge(-vgs, -vds).value, -n.charge(vgs, vds).value, 1e-24);
+    }
+  }
+}
+
+TEST(IntrinsicFet, CurrentContinuousAcrossVdsZero) {
+  const auto n = synthetic::synthetic_fet(Polarity::kN);
+  for (double vgs : {0.0, 0.2, 0.45}) {
+    const double below = n.current(vgs, -1e-6).value;
+    const double above = n.current(vgs, 1e-6).value;
+    EXPECT_NEAR(below, above, 1e-9);
+    EXPECT_NEAR(n.current(vgs, 0.0).value, 0.0, 1e-7);
+  }
+}
+
+TEST(IntrinsicFet, SwapAntisymmetryForCurrent) {
+  const auto n = synthetic::synthetic_fet(Polarity::kN);
+  // I(vgs, -v) = -I(vgd, v) with vgd = vgs - vds = vgs + v (device
+  // symmetry under source/drain exchange).
+  for (double vgs : {0.1, 0.35}) {
+    for (double v : {0.2, 0.5}) {
+      EXPECT_NEAR(n.current(vgs, -v).value, -n.current(vgs + v, v).value, 1e-18);
+    }
+  }
+}
+
+TEST(IntrinsicFet, OffsetShiftsGateAxis) {
+  const auto a = synthetic::synthetic_fet(Polarity::kN, 0.0);
+  const auto b = synthetic::synthetic_fet(Polarity::kN, 0.15);
+  EXPECT_NEAR(b.current(0.3, 0.4).value, a.current(0.45, 0.4).value, 1e-18);
+}
+
+TEST(IntrinsicFet, DerivativesMatchFiniteDifferences) {
+  const auto n = synthetic::synthetic_fet(Polarity::kN, 0.1);
+  const double h = 1e-6;
+  for (double vgs : {0.15, 0.4}) {
+    for (double vds : {0.12, 0.33}) {
+      const auto s = n.current(vgs, vds);
+      const double fd_g = (n.current(vgs + h, vds).value - n.current(vgs - h, vds).value) / (2 * h);
+      const double fd_d = (n.current(vgs, vds + h).value - n.current(vgs, vds - h).value) / (2 * h);
+      EXPECT_NEAR(s.d_dvgs, fd_g, 1e-7 + 1e-4 * std::abs(fd_g));
+      EXPECT_NEAR(s.d_dvds, fd_d, 1e-7 + 1e-4 * std::abs(fd_d));
+    }
+  }
+}
+
+TEST(ArrayFet, UniformArrayScalesCurrent) {
+  const auto one = synthetic::synthetic_fet(Polarity::kN);
+  const auto four = model::ArrayFet::uniform(one, 4);
+  EXPECT_NEAR(four.current(0.4, 0.4).value, 4.0 * one.current(0.4, 0.4).value, 1e-18);
+  EXPECT_NEAR(four.charge(0.4, 0.4).value, 4.0 * one.charge(0.4, 0.4).value, 1e-24);
+}
+
+TEST(ArrayFet, VariantMixing) {
+  const auto nom = synthetic::synthetic_fet(Polarity::kN, 0.0);
+  const auto var = synthetic::synthetic_fet(Polarity::kN, 0.2);  // stronger device
+  const auto mixed = model::ArrayFet::with_variants(nom, var, 4, 1);
+  const double expected = 3.0 * nom.current(0.4, 0.4).value + var.current(0.4, 0.4).value;
+  EXPECT_NEAR(mixed.current(0.4, 0.4).value, expected, 1e-18);
+  EXPECT_THROW(model::ArrayFet::with_variants(nom, var, 4, 5), std::invalid_argument);
+}
+
+TEST(ArrayFet, RejectsMixedPolarity) {
+  std::vector<model::IntrinsicFet> chans = {synthetic::synthetic_fet(Polarity::kN),
+                                            synthetic::synthetic_fet(Polarity::kP)};
+  EXPECT_THROW(model::ArrayFet a(std::move(chans)), std::invalid_argument);
+}
+
+TEST(Parasitics, FromPerWidth) {
+  const auto p = model::Parasitics::from_per_width(0.1, 40.0);
+  EXPECT_NEAR(p.cgs_e_F, 4e-18, 1e-24);
+  EXPECT_NEAR(p.cgd_e_F, 4e-18, 1e-24);
+}
+
+}  // namespace
