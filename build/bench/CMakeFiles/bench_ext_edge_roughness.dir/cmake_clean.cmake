@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_edge_roughness.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_ext_edge_roughness.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_ext_edge_roughness.dir/bench_ext_edge_roughness.cpp.o"
+  "CMakeFiles/bench_ext_edge_roughness.dir/bench_ext_edge_roughness.cpp.o.d"
+  "bench_ext_edge_roughness"
+  "bench_ext_edge_roughness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_edge_roughness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

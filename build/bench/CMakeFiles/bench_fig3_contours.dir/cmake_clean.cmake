@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_contours.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig3_contours.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig3_contours.dir/bench_fig3_contours.cpp.o"
+  "CMakeFiles/bench_fig3_contours.dir/bench_fig3_contours.cpp.o.d"
+  "bench_fig3_contours"
+  "bench_fig3_contours.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_contours.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_width_iv.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig4_width_iv.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig4_width_iv.dir/bench_fig4_width_iv.cpp.o"
+  "CMakeFiles/bench_fig4_width_iv.dir/bench_fig4_width_iv.cpp.o.d"
+  "bench_fig4_width_iv"
+  "bench_fig4_width_iv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_width_iv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_impurity.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig5_impurity.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig5_impurity.dir/bench_fig5_impurity.cpp.o"
+  "CMakeFiles/bench_fig5_impurity.dir/bench_fig5_impurity.cpp.o.d"
+  "bench_fig5_impurity"
+  "bench_fig5_impurity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_impurity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_montecarlo.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig6_montecarlo.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig6_montecarlo.dir/bench_fig6_montecarlo.cpp.o"
+  "CMakeFiles/bench_fig6_montecarlo.dir/bench_fig6_montecarlo.cpp.o.d"
+  "bench_fig6_montecarlo"
+  "bench_fig6_montecarlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_montecarlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_latch_snm.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig7_latch_snm.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig7_latch_snm.dir/bench_fig7_latch_snm.cpp.o"
+  "CMakeFiles/bench_fig7_latch_snm.dir/bench_fig7_latch_snm.cpp.o.d"
+  "bench_fig7_latch_snm"
+  "bench_fig7_latch_snm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_latch_snm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_width_variation.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table2_width_variation.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table2_width_variation.dir/bench_table2_width_variation.cpp.o"
+  "CMakeFiles/bench_table2_width_variation.dir/bench_table2_width_variation.cpp.o.d"
+  "bench_table2_width_variation"
+  "bench_table2_width_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_width_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

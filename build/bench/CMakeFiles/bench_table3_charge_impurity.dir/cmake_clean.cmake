@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_charge_impurity.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table3_charge_impurity.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table3_charge_impurity.dir/bench_table3_charge_impurity.cpp.o"
+  "CMakeFiles/bench_table3_charge_impurity.dir/bench_table3_charge_impurity.cpp.o.d"
+  "bench_table3_charge_impurity"
+  "bench_table3_charge_impurity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_charge_impurity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

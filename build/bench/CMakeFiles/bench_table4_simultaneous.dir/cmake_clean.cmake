@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_simultaneous.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table4_simultaneous.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table4_simultaneous.dir/bench_table4_simultaneous.cpp.o"
+  "CMakeFiles/bench_table4_simultaneous.dir/bench_table4_simultaneous.cpp.o.d"
+  "bench_table4_simultaneous"
+  "bench_table4_simultaneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_simultaneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_inverter_designer.dir/inverter_designer.cpp.o"
+  "CMakeFiles/example_inverter_designer.dir/inverter_designer.cpp.o.d"
+  "example_inverter_designer"
+  "example_inverter_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_inverter_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ring_oscillator_lab.dir/ring_oscillator_lab.cpp.o"
+  "CMakeFiles/example_ring_oscillator_lab.dir/ring_oscillator_lab.cpp.o.d"
+  "example_ring_oscillator_lab"
+  "example_ring_oscillator_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ring_oscillator_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

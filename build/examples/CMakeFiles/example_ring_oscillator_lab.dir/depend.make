@@ -1,0 +1,2 @@
+# Empty dependencies file for example_ring_oscillator_lab.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_variability_study.dir/variability_study.cpp.o"
+  "CMakeFiles/example_variability_study.dir/variability_study.cpp.o.d"
+  "example_variability_study"
+  "example_variability_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_variability_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/dc.cpp" "src/CMakeFiles/gnrfet.dir/circuit/dc.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/circuit/dc.cpp.o.d"
+  "/root/repo/src/circuit/elements.cpp" "src/CMakeFiles/gnrfet.dir/circuit/elements.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/circuit/elements.cpp.o.d"
+  "/root/repo/src/circuit/measure.cpp" "src/CMakeFiles/gnrfet.dir/circuit/measure.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/circuit/measure.cpp.o.d"
+  "/root/repo/src/circuit/mna.cpp" "src/CMakeFiles/gnrfet.dir/circuit/mna.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/circuit/mna.cpp.o.d"
+  "/root/repo/src/circuit/netlists.cpp" "src/CMakeFiles/gnrfet.dir/circuit/netlists.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/circuit/netlists.cpp.o.d"
+  "/root/repo/src/circuit/snm.cpp" "src/CMakeFiles/gnrfet.dir/circuit/snm.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/circuit/snm.cpp.o.d"
+  "/root/repo/src/circuit/transient.cpp" "src/CMakeFiles/gnrfet.dir/circuit/transient.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/circuit/transient.cpp.o.d"
+  "/root/repo/src/cmos/compact_model.cpp" "src/CMakeFiles/gnrfet.dir/cmos/compact_model.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/cmos/compact_model.cpp.o.d"
+  "/root/repo/src/cmos/nodes.cpp" "src/CMakeFiles/gnrfet.dir/cmos/nodes.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/cmos/nodes.cpp.o.d"
+  "/root/repo/src/common/cache.cpp" "src/CMakeFiles/gnrfet.dir/common/cache.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/common/cache.cpp.o.d"
+  "/root/repo/src/common/constants.cpp" "src/CMakeFiles/gnrfet.dir/common/constants.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/common/constants.cpp.o.d"
+  "/root/repo/src/common/csv.cpp" "src/CMakeFiles/gnrfet.dir/common/csv.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/common/csv.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/CMakeFiles/gnrfet.dir/common/strings.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/common/strings.cpp.o.d"
+  "/root/repo/src/device/geometry.cpp" "src/CMakeFiles/gnrfet.dir/device/geometry.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/device/geometry.cpp.o.d"
+  "/root/repo/src/device/selfconsistent.cpp" "src/CMakeFiles/gnrfet.dir/device/selfconsistent.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/device/selfconsistent.cpp.o.d"
+  "/root/repo/src/device/sweeps.cpp" "src/CMakeFiles/gnrfet.dir/device/sweeps.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/device/sweeps.cpp.o.d"
+  "/root/repo/src/device/tablegen.cpp" "src/CMakeFiles/gnrfet.dir/device/tablegen.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/device/tablegen.cpp.o.d"
+  "/root/repo/src/explore/contours.cpp" "src/CMakeFiles/gnrfet.dir/explore/contours.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/explore/contours.cpp.o.d"
+  "/root/repo/src/explore/latch_study.cpp" "src/CMakeFiles/gnrfet.dir/explore/latch_study.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/explore/latch_study.cpp.o.d"
+  "/root/repo/src/explore/montecarlo.cpp" "src/CMakeFiles/gnrfet.dir/explore/montecarlo.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/explore/montecarlo.cpp.o.d"
+  "/root/repo/src/explore/tech_explore.cpp" "src/CMakeFiles/gnrfet.dir/explore/tech_explore.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/explore/tech_explore.cpp.o.d"
+  "/root/repo/src/explore/variants.cpp" "src/CMakeFiles/gnrfet.dir/explore/variants.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/explore/variants.cpp.o.d"
+  "/root/repo/src/gnr/bandstructure.cpp" "src/CMakeFiles/gnrfet.dir/gnr/bandstructure.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/gnr/bandstructure.cpp.o.d"
+  "/root/repo/src/gnr/hamiltonian.cpp" "src/CMakeFiles/gnrfet.dir/gnr/hamiltonian.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/gnr/hamiltonian.cpp.o.d"
+  "/root/repo/src/gnr/lattice.cpp" "src/CMakeFiles/gnrfet.dir/gnr/lattice.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/gnr/lattice.cpp.o.d"
+  "/root/repo/src/gnr/modespace.cpp" "src/CMakeFiles/gnrfet.dir/gnr/modespace.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/gnr/modespace.cpp.o.d"
+  "/root/repo/src/linalg/dense.cpp" "src/CMakeFiles/gnrfet.dir/linalg/dense.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/linalg/dense.cpp.o.d"
+  "/root/repo/src/linalg/eig.cpp" "src/CMakeFiles/gnrfet.dir/linalg/eig.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/linalg/eig.cpp.o.d"
+  "/root/repo/src/linalg/lu.cpp" "src/CMakeFiles/gnrfet.dir/linalg/lu.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/linalg/lu.cpp.o.d"
+  "/root/repo/src/linalg/pcg.cpp" "src/CMakeFiles/gnrfet.dir/linalg/pcg.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/linalg/pcg.cpp.o.d"
+  "/root/repo/src/linalg/sparse.cpp" "src/CMakeFiles/gnrfet.dir/linalg/sparse.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/linalg/sparse.cpp.o.d"
+  "/root/repo/src/model/array_fet.cpp" "src/CMakeFiles/gnrfet.dir/model/array_fet.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/model/array_fet.cpp.o.d"
+  "/root/repo/src/model/extrinsic_fet.cpp" "src/CMakeFiles/gnrfet.dir/model/extrinsic_fet.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/model/extrinsic_fet.cpp.o.d"
+  "/root/repo/src/model/intrinsic_fet.cpp" "src/CMakeFiles/gnrfet.dir/model/intrinsic_fet.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/model/intrinsic_fet.cpp.o.d"
+  "/root/repo/src/model/table2d.cpp" "src/CMakeFiles/gnrfet.dir/model/table2d.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/model/table2d.cpp.o.d"
+  "/root/repo/src/negf/energygrid.cpp" "src/CMakeFiles/gnrfet.dir/negf/energygrid.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/negf/energygrid.cpp.o.d"
+  "/root/repo/src/negf/rgf.cpp" "src/CMakeFiles/gnrfet.dir/negf/rgf.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/negf/rgf.cpp.o.d"
+  "/root/repo/src/negf/scalar_rgf.cpp" "src/CMakeFiles/gnrfet.dir/negf/scalar_rgf.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/negf/scalar_rgf.cpp.o.d"
+  "/root/repo/src/negf/selfenergy.cpp" "src/CMakeFiles/gnrfet.dir/negf/selfenergy.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/negf/selfenergy.cpp.o.d"
+  "/root/repo/src/negf/transport.cpp" "src/CMakeFiles/gnrfet.dir/negf/transport.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/negf/transport.cpp.o.d"
+  "/root/repo/src/poisson/assembly.cpp" "src/CMakeFiles/gnrfet.dir/poisson/assembly.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/poisson/assembly.cpp.o.d"
+  "/root/repo/src/poisson/grid.cpp" "src/CMakeFiles/gnrfet.dir/poisson/grid.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/poisson/grid.cpp.o.d"
+  "/root/repo/src/poisson/nonlinear.cpp" "src/CMakeFiles/gnrfet.dir/poisson/nonlinear.cpp.o" "gcc" "src/CMakeFiles/gnrfet.dir/poisson/nonlinear.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

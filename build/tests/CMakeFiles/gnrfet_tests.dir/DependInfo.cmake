@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_circuit.cpp" "tests/CMakeFiles/gnrfet_tests.dir/test_circuit.cpp.o" "gcc" "tests/CMakeFiles/gnrfet_tests.dir/test_circuit.cpp.o.d"
+  "/root/repo/tests/test_cmos.cpp" "tests/CMakeFiles/gnrfet_tests.dir/test_cmos.cpp.o" "gcc" "tests/CMakeFiles/gnrfet_tests.dir/test_cmos.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/gnrfet_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/gnrfet_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_device.cpp" "tests/CMakeFiles/gnrfet_tests.dir/test_device.cpp.o" "gcc" "tests/CMakeFiles/gnrfet_tests.dir/test_device.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/gnrfet_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/gnrfet_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_explore.cpp" "tests/CMakeFiles/gnrfet_tests.dir/test_explore.cpp.o" "gcc" "tests/CMakeFiles/gnrfet_tests.dir/test_explore.cpp.o.d"
+  "/root/repo/tests/test_gnr.cpp" "tests/CMakeFiles/gnrfet_tests.dir/test_gnr.cpp.o" "gcc" "tests/CMakeFiles/gnrfet_tests.dir/test_gnr.cpp.o.d"
+  "/root/repo/tests/test_linalg.cpp" "tests/CMakeFiles/gnrfet_tests.dir/test_linalg.cpp.o" "gcc" "tests/CMakeFiles/gnrfet_tests.dir/test_linalg.cpp.o.d"
+  "/root/repo/tests/test_model.cpp" "tests/CMakeFiles/gnrfet_tests.dir/test_model.cpp.o" "gcc" "tests/CMakeFiles/gnrfet_tests.dir/test_model.cpp.o.d"
+  "/root/repo/tests/test_negf.cpp" "tests/CMakeFiles/gnrfet_tests.dir/test_negf.cpp.o" "gcc" "tests/CMakeFiles/gnrfet_tests.dir/test_negf.cpp.o.d"
+  "/root/repo/tests/test_poisson.cpp" "tests/CMakeFiles/gnrfet_tests.dir/test_poisson.cpp.o" "gcc" "tests/CMakeFiles/gnrfet_tests.dir/test_poisson.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/gnrfet_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/gnrfet_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_vacancy.cpp" "tests/CMakeFiles/gnrfet_tests.dir/test_vacancy.cpp.o" "gcc" "tests/CMakeFiles/gnrfet_tests.dir/test_vacancy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gnrfet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

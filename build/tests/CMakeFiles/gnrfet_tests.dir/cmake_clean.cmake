@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnrfet_tests.dir/test_circuit.cpp.o"
+  "CMakeFiles/gnrfet_tests.dir/test_circuit.cpp.o.d"
+  "CMakeFiles/gnrfet_tests.dir/test_cmos.cpp.o"
+  "CMakeFiles/gnrfet_tests.dir/test_cmos.cpp.o.d"
+  "CMakeFiles/gnrfet_tests.dir/test_common.cpp.o"
+  "CMakeFiles/gnrfet_tests.dir/test_common.cpp.o.d"
+  "CMakeFiles/gnrfet_tests.dir/test_device.cpp.o"
+  "CMakeFiles/gnrfet_tests.dir/test_device.cpp.o.d"
+  "CMakeFiles/gnrfet_tests.dir/test_edge_cases.cpp.o"
+  "CMakeFiles/gnrfet_tests.dir/test_edge_cases.cpp.o.d"
+  "CMakeFiles/gnrfet_tests.dir/test_explore.cpp.o"
+  "CMakeFiles/gnrfet_tests.dir/test_explore.cpp.o.d"
+  "CMakeFiles/gnrfet_tests.dir/test_gnr.cpp.o"
+  "CMakeFiles/gnrfet_tests.dir/test_gnr.cpp.o.d"
+  "CMakeFiles/gnrfet_tests.dir/test_linalg.cpp.o"
+  "CMakeFiles/gnrfet_tests.dir/test_linalg.cpp.o.d"
+  "CMakeFiles/gnrfet_tests.dir/test_model.cpp.o"
+  "CMakeFiles/gnrfet_tests.dir/test_model.cpp.o.d"
+  "CMakeFiles/gnrfet_tests.dir/test_negf.cpp.o"
+  "CMakeFiles/gnrfet_tests.dir/test_negf.cpp.o.d"
+  "CMakeFiles/gnrfet_tests.dir/test_poisson.cpp.o"
+  "CMakeFiles/gnrfet_tests.dir/test_poisson.cpp.o.d"
+  "CMakeFiles/gnrfet_tests.dir/test_properties.cpp.o"
+  "CMakeFiles/gnrfet_tests.dir/test_properties.cpp.o.d"
+  "CMakeFiles/gnrfet_tests.dir/test_vacancy.cpp.o"
+  "CMakeFiles/gnrfet_tests.dir/test_vacancy.cpp.o.d"
+  "gnrfet_tests"
+  "gnrfet_tests.pdb"
+  "gnrfet_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnrfet_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_tables.dir/gen_tables.cpp.o"
+  "CMakeFiles/gen_tables.dir/gen_tables.cpp.o.d"
+  "gen_tables"
+  "gen_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
