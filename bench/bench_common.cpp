@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+
+#include "common/parallel.hpp"
 
 namespace gnrfet::bench {
 
@@ -26,6 +29,28 @@ int env_int(const char* name, int fallback) {
   if (!v || !*v) return fallback;
   const int parsed = std::atoi(v);
   return parsed > 0 ? parsed : fallback;
+}
+
+PhaseTimer::PhaseTimer(std::string bench, std::string phase)
+    : bench_(std::move(bench)), phase_(std::move(phase)),
+      start_(std::chrono::steady_clock::now()) {}
+
+PhaseTimer::~PhaseTimer() { stop(); }
+
+double PhaseTimer::stop() {
+  if (seconds_ >= 0.0) return seconds_;
+  seconds_ = std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  std::filesystem::create_directories("bench_out");
+  const std::string path = "bench_out/perf_timings.csv";
+  const bool fresh = !std::filesystem::exists(path);
+  std::ofstream out(path, std::ios::app);
+  if (out) {
+    if (fresh) out << "bench,phase,seconds,threads\n";
+    out << bench_ << "," << phase_ << "," << seconds_ << "," << par::thread_count() << "\n";
+  }
+  std::printf("[time] %s/%s: %.3f s on %d thread(s)\n", bench_.c_str(), phase_.c_str(),
+              seconds_, par::thread_count());
+  return seconds_;
 }
 
 }  // namespace gnrfet::bench

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <string>
 
 #include "common/csv.hpp"
@@ -21,5 +22,23 @@ void banner(const std::string& title);
 /// Number of Monte Carlo samples etc. can be overridden via environment
 /// (e.g. GNRFET_MC_SAMPLES); returns fallback when unset/invalid.
 int env_int(const char* name, int fallback);
+
+/// Wall-clock timer for one named bench phase. On stop (or destruction)
+/// it prints the elapsed time and appends a
+/// `{bench, phase, seconds, threads}` row to bench_out/perf_timings.csv,
+/// so speedups stay measurable across PRs and thread counts.
+class PhaseTimer {
+ public:
+  PhaseTimer(std::string bench, std::string phase);
+  ~PhaseTimer();
+
+  /// Stop and record; returns elapsed seconds. Idempotent.
+  double stop();
+
+ private:
+  std::string bench_, phase_;
+  std::chrono::steady_clock::time_point start_;
+  double seconds_ = -1.0;
+};
 
 }  // namespace gnrfet::bench

@@ -1,0 +1,225 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace gnrfet::par {
+
+namespace {
+
+/// One parallel region. Chunks are pre-partitioned into per-participant
+/// ranges; a participant first drains its own range, then steals from the
+/// tail of the busiest-looking victim. Claiming is lock-free; everything
+/// that touches the job's lifetime goes through the pool mutex.
+struct Job {
+  const std::function<void(size_t, size_t, size_t)>* body = nullptr;
+  size_t n = 0;
+  size_t grain = 1;
+  size_t nchunks = 0;
+  size_t participants = 0;
+
+  struct alignas(64) Cursor {
+    std::atomic<size_t> next{0};
+    size_t end = 0;
+  };
+  std::vector<Cursor> cursors;  // one per participant
+
+  std::atomic<bool> abort{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+
+  void init(size_t n_items, size_t grain_items, size_t nparticipants) {
+    n = n_items;
+    grain = grain_items;
+    nchunks = num_chunks(n, grain);
+    participants = nparticipants < nchunks ? nparticipants : nchunks;
+    if (participants == 0) participants = 1;
+    cursors = std::vector<Cursor>(participants);
+    for (size_t p = 0; p < participants; ++p) {
+      cursors[p].next.store(p * nchunks / participants, std::memory_order_relaxed);
+      cursors[p].end = (p + 1) * nchunks / participants;
+    }
+  }
+
+  /// Claim one chunk, preferring slot `home`; returns nchunks when drained.
+  size_t claim(size_t home) {
+    for (size_t k = 0; k < participants; ++k) {
+      Cursor& c = cursors[(home + k) % participants];
+      const size_t got = c.next.fetch_add(1, std::memory_order_relaxed);
+      if (got < c.end) return got;
+    }
+    return nchunks;
+  }
+
+  void run_chunk(size_t chunk) {
+    if (abort.load(std::memory_order_relaxed)) return;
+    try {
+      const size_t begin = chunk * grain;
+      const size_t end = begin + grain < n ? begin + grain : n;
+      (*body)(chunk, begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(error_mu);
+      if (!error) error = std::current_exception();
+      abort.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  void work(size_t home) {
+    for (size_t chunk = claim(home); chunk < nchunks; chunk = claim(home)) {
+      run_chunk(chunk);
+    }
+  }
+};
+
+thread_local bool t_in_worker = false;
+
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  int threads() {
+    std::lock_guard<std::mutex> lk(mu_);
+    return target_threads_;
+  }
+
+  void set_threads(int n) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (job_) throw std::logic_error("par::set_thread_count: parallel region active");
+    target_threads_ = n < 1 ? 1 : n;
+    ensure_workers(lk);
+  }
+
+  void run(Job& job) {
+    std::unique_lock<std::mutex> lk(mu_);
+    job.init(job.n, job.grain, static_cast<size_t>(target_threads_));
+    job_ = &job;
+    ++epoch_;
+    lk.unlock();
+    wake_cv_.notify_all();
+
+    // The caller is participant 0 and helps until the job drains.
+    job.work(0);
+
+    // Detach the job so late-waking workers skip it, then wait for every
+    // worker that did enter to leave before the job goes out of scope.
+    lk.lock();
+    job_ = nullptr;
+    done_cv_.wait(lk, [&] { return active_ == 0; });
+    lk.unlock();
+
+    if (job.error) std::rethrow_exception(job.error);
+  }
+
+ private:
+  ThreadPool() {
+    target_threads_ = resolve_env_threads();
+    std::unique_lock<std::mutex> lk(mu_);
+    ensure_workers(lk);
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  static int resolve_env_threads() {
+    if (const char* env = std::getenv("GNRFET_THREADS"); env && *env) {
+      const int n = std::atoi(env);
+      if (n >= 1) return n;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? static_cast<int>(hw) : 1;
+  }
+
+  void ensure_workers(std::unique_lock<std::mutex>&) {
+    // Participant 0 is the caller, so the pool carries threads - 1 workers.
+    while (static_cast<int>(workers_.size()) < target_threads_ - 1) {
+      const size_t slot = workers_.size() + 1;
+      workers_.emplace_back([this, slot] { worker_main(slot); });
+    }
+  }
+
+  void worker_main(size_t slot) {
+    t_in_worker = true;
+    std::unique_lock<std::mutex> lk(mu_);
+    uint64_t seen = epoch_;
+    while (true) {
+      wake_cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      Job* job = job_;
+      if (!job || slot >= job->participants) continue;
+      ++active_;
+      lk.unlock();
+      job->work(slot);
+      lk.lock();
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  Job* job_ = nullptr;
+  uint64_t epoch_ = 0;
+  int active_ = 0;
+  int target_threads_ = 1;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+int thread_count() { return ThreadPool::instance().threads(); }
+
+void set_thread_count(int n) { ThreadPool::instance().set_threads(n); }
+
+bool in_parallel_region() { return t_in_worker; }
+
+size_t num_chunks(size_t n, size_t grain) {
+  if (grain == 0) grain = 1;
+  return n == 0 ? 0 : (n + grain - 1) / grain;
+}
+
+void parallel_for_chunks(size_t n, size_t grain,
+                         const std::function<void(size_t, size_t, size_t)>& body) {
+  if (grain == 0) grain = 1;
+  const size_t chunks = num_chunks(n, grain);
+  if (chunks == 0) return;
+  // Serial path: one thread, a nested region, or a single chunk. Chunk
+  // boundaries are identical to the threaded path, so results match it
+  // bit for bit.
+  if (chunks == 1 || t_in_worker || thread_count() == 1) {
+    for (size_t c = 0; c < chunks; ++c) {
+      const size_t begin = c * grain;
+      const size_t end = begin + grain < n ? begin + grain : n;
+      body(c, begin, end);
+    }
+    return;
+  }
+  Job job;
+  job.body = &body;
+  job.n = n;
+  job.grain = grain;
+  ThreadPool::instance().run(job);
+}
+
+void parallel_for(size_t n, const std::function<void(size_t)>& body) {
+  parallel_for_chunks(n, 1, [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+}  // namespace gnrfet::par

@@ -1,10 +1,15 @@
 #include "device/tablegen.hpp"
 
+#include <unistd.h>
+
+#include <filesystem>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/cache.hpp"
 #include "common/constants.hpp"
 #include "common/csv.hpp"
+#include "common/parallel.hpp"
 #include "device/sweeps.hpp"
 #include "gnr/bandstructure.hpp"
 
@@ -32,16 +37,55 @@ void save_table(const DeviceTable& table, const std::string& path, const std::st
       t.add_row({table.vg[ig], table.vd[id], table.at_current(ig, id), table.at_charge(ig, id)});
     }
   }
-  t.save(path);
+  // Write-to-temp + atomic rename: concurrent benches sharing data/cache
+  // (or a crash mid-write) can never leave a torn CSV at the final path.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  t.save(tmp);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw std::runtime_error("save_table: cannot rename into place: " + path);
+  }
 }
+
+namespace {
+
+/// Parse a required size_t metadata field of a cached table, with errors
+/// that name the file and field instead of std::stoul's bare exceptions.
+size_t require_size_meta(const csv::Table& t, const std::string& key, const std::string& path) {
+  const std::string raw = t.meta(key);
+  if (raw.empty()) {
+    throw std::runtime_error("load_table: " + path + ": missing '" + key +
+                             "' metadata (corrupt or truncated cache file)");
+  }
+  size_t pos = 0;
+  unsigned long value = 0;
+  try {
+    value = std::stoul(raw, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != raw.size() || value == 0) {
+    throw std::runtime_error("load_table: " + path + ": malformed '" + key + "' metadata '" +
+                             raw + "' (corrupt cache file)");
+  }
+  return static_cast<size_t>(value);
+}
+
+}  // namespace
 
 DeviceTable load_table(const std::string& path) {
   const csv::Table t = csv::Table::load(path);
   DeviceTable table;
   table.band_gap_eV = std::stod(t.meta("band_gap_eV", "0"));
-  const size_t nvg = std::stoul(t.meta("nvg"));
-  const size_t nvd = std::stoul(t.meta("nvd"));
-  if (t.num_rows() != nvg * nvd) throw std::runtime_error("load_table: row count mismatch");
+  const size_t nvg = require_size_meta(t, "nvg", path);
+  const size_t nvd = require_size_meta(t, "nvd", path);
+  if (t.num_rows() != nvg * nvd) {
+    throw std::runtime_error("load_table: " + path + ": row count " +
+                             std::to_string(t.num_rows()) + " != nvg*nvd = " +
+                             std::to_string(nvg * nvd) + " (corrupt cache file)");
+  }
   table.vg.resize(nvg);
   table.vd.resize(nvd);
   table.current_A.resize(nvg * nvd);
@@ -77,32 +121,28 @@ DeviceTable generate_device_table(const DeviceSpec& spec, const TableGenOptions&
 
   // Walk the grid drain-major, warm-starting each point from the previous
   // gate point in the same column, and each column head from the previous
-  // column's head solution.
-  std::vector<DeviceSolution> column_heads(1);
-  DeviceSolution prev_head;
-  bool have_head = false;
-  for (size_t id = 0; id < table.vd.size(); ++id) {
-    DeviceSolution prev;
-    bool have_prev = false;
-    for (size_t ig = 0; ig < table.vg.size(); ++ig) {
-      const DeviceSolution* start = nullptr;
-      if (have_prev) {
-        start = &prev;
-      } else if (have_head) {
-        start = &prev_head;
-      }
-      const DeviceSolution sol = solver.solve({table.vg[ig], table.vd[id]}, start);
-      const size_t row = ig * table.vd.size() + id;
+  // column's head solution. Phase 1 solves the serial chain of column
+  // heads (ig = 0 across drain biases); given its head, each drain column
+  // is then independent, so phase 2 fans the intra-column VG chains out
+  // across threads. The warm-start graph is identical to the serial walk,
+  // so the table is bit-identical for any thread count.
+  const size_t nvd = table.vd.size();
+  std::vector<DeviceSolution> heads(nvd);
+  for (size_t id = 0; id < nvd; ++id) {
+    heads[id] = solver.solve({table.vg[0], table.vd[id]}, id > 0 ? &heads[id - 1] : nullptr);
+    table.current_A[id] = heads[id].current_A;
+    table.charge_C[id] = -constants::kElementaryCharge * heads[id].net_electrons;
+  }
+  par::parallel_for(nvd, [&](size_t id) {
+    DeviceSolution prev = heads[id];
+    for (size_t ig = 1; ig < table.vg.size(); ++ig) {
+      DeviceSolution sol = solver.solve({table.vg[ig], table.vd[id]}, &prev);
+      const size_t row = ig * nvd + id;
       table.current_A[row] = sol.current_A;
       table.charge_C[row] = -constants::kElementaryCharge * sol.net_electrons;
-      if (ig == 0) {
-        prev_head = sol;
-        have_head = true;
-      }
-      prev = sol;
-      have_prev = true;
+      prev = std::move(sol);
     }
-  }
+  });
 
   if (opts.use_cache) save_table(table, path, payload);
   return table;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.hpp"
+
 namespace gnrfet::explore {
 
 int DiscretizedNormal::draw(std::mt19937& rng) const {
@@ -15,7 +17,6 @@ int DiscretizedNormal::draw(std::mt19937& rng) const {
 
 MonteCarloResult run_ring_monte_carlo(DesignKit& kit, const MonteCarloOptions& opts) {
   MonteCarloResult result;
-  std::mt19937 rng(opts.seed);
   const DiscretizedNormal dist;
 
   circuit::RingMeasureOptions ropt = opts.ring;
@@ -26,8 +27,14 @@ MonteCarloResult run_ring_monte_carlo(DesignKit& kit, const MonteCarloOptions& o
                                        nominal, ropt);
 
   // Width draws: N = 12 + 3 * z with z in {-1, 0, +1} -> {9, 12, 15};
-  // charge draws: q = z in {-1, 0, +1}.
-  for (int s = 0; s < opts.samples; ++s) {
+  // charge draws: q = z in {-1, 0, +1}. Samples run in parallel; each
+  // draws from its own counter-seeded generator (seed ^ sample index), so
+  // every sample's variant stream is a pure function of its index and the
+  // statistics are invariant to thread count and scheduling.
+  const size_t nsamples = opts.samples > 0 ? static_cast<size_t>(opts.samples) : 0;
+  result.samples.assign(nsamples, MonteCarloSample{});
+  par::parallel_for(nsamples, [&](size_t s) {
+    std::mt19937 rng(opts.seed ^ static_cast<unsigned>(s));
     std::vector<circuit::InverterModels> stages;
     stages.reserve(15);
     for (int i = 0; i < 15; ++i) {
@@ -41,8 +48,8 @@ MonteCarloResult run_ring_monte_carlo(DesignKit& kit, const MonteCarloOptions& o
     sample.frequency_Hz = m.frequency_Hz;
     sample.static_power_W = m.static_power_W;
     sample.dynamic_power_W = m.dynamic_power_W;
-    result.samples.push_back(sample);
-  }
+    result.samples[s] = sample;
+  });
 
   double n_ok = 0.0;
   for (const auto& s : result.samples) {

@@ -22,7 +22,10 @@ struct DiscretizedNormal {
 
 struct MonteCarloOptions {
   int samples = 200;
-  unsigned seed = 20080608;  ///< DAC 2008 conference date
+  /// Base seed (DAC 2008 conference date). Sample s draws from a fresh
+  /// mt19937 seeded with `seed ^ s`, so the sample streams are independent
+  /// of thread count and scheduling.
+  unsigned seed = 20080608;
   double vt = 0.13;
   double vdd = 0.4;
   circuit::RingMeasureOptions ring;

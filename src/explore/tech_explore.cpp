@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "circuit/snm.hpp"
+#include "common/parallel.hpp"
 #include "device/sweeps.hpp"
 
 namespace gnrfet::explore {
@@ -22,6 +23,7 @@ device::TableGenOptions standard_table_options() {
 DesignKit::DesignKit(model::Parasitics parasitics) : parasitics_(parasitics) {}
 
 const device::DeviceTable& DesignKit::table(const VariantSpec& v) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   const auto it = tables_.find(v);
   if (it != tables_.end()) return it->second;
   device::DeviceSpec spec;
@@ -31,7 +33,15 @@ const device::DeviceTable& DesignKit::table(const VariantSpec& v) {
   return tables_.emplace(v, std::move(table)).first->second;
 }
 
+void DesignKit::set_table(const VariantSpec& v, device::DeviceTable table) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  tables_.insert_or_assign(v, std::move(table));
+  fet_tables_.erase(v);
+  if (v.n_index == 12 && v.impurity_q == 0.0) vt0_ = -1.0;
+}
+
 double DesignKit::vt0() {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   if (vt0_ >= 0.0) return vt0_;
   const device::DeviceTable& t = table({12, 0.0});
   // Extract at the lowest nonzero drain bias on the grid (0.05 V), per the
@@ -45,6 +55,7 @@ double DesignKit::vt0() {
 
 model::IntrinsicFet DesignKit::channel(const VariantSpec& v, model::Polarity pol,
                                        double offset) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   auto it = fet_tables_.find(v);
   if (it == fet_tables_.end()) {
     it = fet_tables_.emplace(v, model::make_fet_tables(table(v))).first;
@@ -82,30 +93,36 @@ circuit::InverterModels DesignKit::inverter_with_variants(const VariantSpec& n_v
 std::vector<ExplorePoint> explore_plane(DesignKit& kit, const std::vector<double>& vt_values,
                                         const std::vector<double>& vdd_values,
                                         const ExploreOptions& opts) {
-  std::vector<ExplorePoint> grid;
-  grid.reserve(vt_values.size() * vdd_values.size());
-  for (const double vdd : vdd_values) {
-    for (const double vt : vt_values) {
-      ExplorePoint p;
-      p.vt = vt;
-      p.vdd = vdd;
-      const circuit::InverterModels inv = kit.inverter(vt);
-      circuit::RingMeasureOptions ropt = opts.ring;
-      ropt.vdd = vdd;
-      const std::vector<circuit::InverterModels> stages(15, inv);
-      const circuit::RingMetrics rm = circuit::measure_ring_oscillator(stages, inv, ropt);
-      if (rm.ok && rm.frequency_Hz > 0.0) {
-        p.frequency_Hz = rm.frequency_Hz;
-        p.edp_Js = rm.edp_Js;
-        p.static_power_W = rm.static_power_W;
-        p.dynamic_power_W = rm.dynamic_power_W;
-        const circuit::Vtc vtc = circuit::compute_vtc(inv, vdd);
-        p.snm_V = circuit::butterfly_snm(vtc, vtc);
-        p.ok = true;
-      }
-      grid.push_back(p);
+  // Generate the shared nominal table (and vt0) before fanning out so the
+  // parallel points only do circuit work under the kit's cache locks.
+  kit.vt0();
+  const size_t nvt = vt_values.size();
+  std::vector<ExplorePoint> grid(nvt * vdd_values.size());
+  // Every (vt, vdd) point is an independent ring-oscillator + SNM
+  // evaluation writing its own slot; layout matches the serial vdd-major
+  // walk, so the result is identical for any thread count.
+  par::parallel_for(grid.size(), [&](size_t k) {
+    const double vdd = vdd_values[k / nvt];
+    const double vt = vt_values[k % nvt];
+    ExplorePoint p;
+    p.vt = vt;
+    p.vdd = vdd;
+    const circuit::InverterModels inv = kit.inverter(vt);
+    circuit::RingMeasureOptions ropt = opts.ring;
+    ropt.vdd = vdd;
+    const std::vector<circuit::InverterModels> stages(15, inv);
+    const circuit::RingMetrics rm = circuit::measure_ring_oscillator(stages, inv, ropt);
+    if (rm.ok && rm.frequency_Hz > 0.0) {
+      p.frequency_Hz = rm.frequency_Hz;
+      p.edp_Js = rm.edp_Js;
+      p.static_power_W = rm.static_power_W;
+      p.dynamic_power_W = rm.dynamic_power_W;
+      const circuit::Vtc vtc = circuit::compute_vtc(inv, vdd);
+      p.snm_V = circuit::butterfly_snm(vtc, vtc);
+      p.ok = true;
     }
-  }
+    grid[k] = p;
+  });
   return grid;
 }
 

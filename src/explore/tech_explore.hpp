@@ -1,6 +1,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "circuit/measure.hpp"
@@ -26,12 +27,22 @@ struct VariantSpec {
 device::TableGenOptions standard_table_options();
 
 /// Loads (generating on miss) device tables and builds circuit models.
+///
+/// Thread safety: all public methods may be called concurrently (the
+/// parallel Monte Carlo and plane sweeps do); the internal caches are
+/// guarded by a mutex, and a variant's first-use generation happens once
+/// while other callers block on it.
 class DesignKit {
  public:
   explicit DesignKit(model::Parasitics parasitics = model::Parasitics::from_per_width(0.1, 40.0));
 
   /// Cached table lookup; generates (minutes) on first use of a variant.
   const device::DeviceTable& table(const VariantSpec& v);
+
+  /// Inject a pre-built table for a variant (tests and synthetic studies:
+  /// lets the circuit layers run without the NEGF pipeline). Drops any
+  /// model tables derived from the variant; resets vt0 for the nominal.
+  void set_table(const VariantSpec& v, device::DeviceTable table);
 
   /// Threshold voltage of the nominal (N=12, ideal) device at low VD with
   /// zero work-function offset; VT tuning uses offset = vt0 - VT_target.
@@ -53,6 +64,10 @@ class DesignKit {
  private:
   model::IntrinsicFet channel(const VariantSpec& v, model::Polarity pol, double offset);
   model::Parasitics parasitics_;
+  /// Guards every cache below; recursive because vt0()/channel() re-enter
+  /// table() on a miss. Map entries are stable under insertion, so the
+  /// references table() hands out outlive the lock.
+  std::recursive_mutex mu_;
   std::map<VariantSpec, device::DeviceTable> tables_;
   std::map<VariantSpec, model::FetTables> fet_tables_;
   double vt0_ = -1.0;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/constants.hpp"
+#include "common/parallel.hpp"
 #include "gnr/hamiltonian.hpp"
 #include "negf/rgf.hpp"
 #include "negf/scalar_rgf.hpp"
@@ -15,6 +16,11 @@ namespace gnrfet::negf {
 namespace {
 
 constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Energies per parallel chunk. The chunk layout is part of the numerical
+/// contract: partial sums are folded in chunk order, so results are
+/// bit-identical for any thread count (see common/parallel.hpp).
+constexpr size_t kEnergyGrain = 8;
 
 /// Bipolar charge for one orbital at one energy: electron density above
 /// the local mid-gap u (weighted by f), hole density below it (weighted by
@@ -82,7 +88,12 @@ TransportSolution solve_mode_space(const gnr::ModeSet& modes,
   chain.gamma_right = opts.gamma_contact_eV;
 
   double current_integral = 0.0;  // Integral T (f1 - f2) dE
-  std::vector<double> col_n(ncol), col_p(ncol);
+
+  /// Per-chunk accumulator for one mode's slice of the energy grid.
+  struct ModePartial {
+    double current = 0.0;
+    std::vector<double> col_n, col_p;
+  };
 
   for (size_t p = 0; p < modes.modes.size(); ++p) {
     const auto& m = modes.modes[p];
@@ -91,34 +102,58 @@ TransportSolution solve_mode_space(const gnr::ModeSet& modes,
       // dimer hopping, (2m+1 -> 2m+2) the staircase hopping.
       chain.hopping[c] = (c % 2 == 0) ? -m.t_dimer : -m.t_stair;
     }
-    std::fill(col_n.begin(), col_n.end(), 0.0);
-    std::fill(col_p.begin(), col_p.end(), 0.0);
     for (size_t c = 0; c < ncol; ++c) chain.onsite[c] = u_mode[p][c];
 
-    for (size_t ie = 0; ie < grid.points.size(); ++ie) {
-      const double e = grid.points[ie];
-      const double w = grid.weights[ie];
-      // Skip energies with no propagating/evanescent weight anywhere:
-      // outside [u_min - band_top, u_max + band_top] the spectral
-      // function of this mode is negligible.
-      if (e < u_min - m.band_top_eV() - 0.05 || e > u_max + m.band_top_eV() + 0.05) continue;
-      const ScalarRgfResult r = scalar_rgf_solve(chain, e, opts.eta_eV);
-      sol.transmission[ie] += m.degeneracy * r.transmission;
-      const double f1 = constants::fermi(e - opts.mu_source_eV, opts.kT_eV);
-      const double f2 = constants::fermi(e - opts.mu_drain_eV, opts.kT_eV);
-      current_integral += w * m.degeneracy * r.transmission * (f1 - f2);
-      for (size_t c = 0; c < ncol; ++c) {
-        const BipolarDensity d = bipolar_density(r.spectral_left[c], r.spectral_right[c], e,
-                                                 u_mode[p][c], f1, f2);
-        col_n[c] += w * m.degeneracy * d.electrons;
-        col_p[c] += w * m.degeneracy * d.holes;
-      }
-    }
+    // Parallel over the energy grid: each energy solves an independent RGF
+    // chain. Within a mode every ie is touched by exactly one chunk, so
+    // sol.transmission writes are disjoint; charge and current partials
+    // are reduced in fixed chunk order.
+    ModePartial init;
+    init.col_n.assign(ncol, 0.0);
+    init.col_p.assign(ncol, 0.0);
+    const ModePartial mode_sum = par::parallel_reduce_ordered<ModePartial>(
+        grid.points.size(), kEnergyGrain, std::move(init),
+        [&](size_t begin, size_t end) {
+          ModePartial part;
+          part.col_n.assign(ncol, 0.0);
+          part.col_p.assign(ncol, 0.0);
+          for (size_t ie = begin; ie < end; ++ie) {
+            const double e = grid.points[ie];
+            const double w = grid.weights[ie];
+            // Skip energies with no propagating/evanescent weight anywhere:
+            // outside [u_min - band_top, u_max + band_top] the spectral
+            // function of this mode is negligible.
+            if (e < u_min - m.band_top_eV() - 0.05 || e > u_max + m.band_top_eV() + 0.05) {
+              continue;
+            }
+            const ScalarRgfResult r = scalar_rgf_solve(chain, e, opts.eta_eV);
+            sol.transmission[ie] += m.degeneracy * r.transmission;
+            const double f1 = constants::fermi(e - opts.mu_source_eV, opts.kT_eV);
+            const double f2 = constants::fermi(e - opts.mu_drain_eV, opts.kT_eV);
+            part.current += w * m.degeneracy * r.transmission * (f1 - f2);
+            for (size_t c = 0; c < ncol; ++c) {
+              const BipolarDensity d = bipolar_density(r.spectral_left[c], r.spectral_right[c],
+                                                       e, u_mode[p][c], f1, f2);
+              part.col_n[c] += w * m.degeneracy * d.electrons;
+              part.col_p[c] += w * m.degeneracy * d.holes;
+            }
+          }
+          return part;
+        },
+        [](ModePartial& acc, ModePartial&& part) {
+          acc.current += part.current;
+          for (size_t c = 0; c < acc.col_n.size(); ++c) {
+            acc.col_n[c] += part.col_n[c];
+            acc.col_p[c] += part.col_p[c];
+          }
+        });
+    current_integral += mode_sum.current;
+
     // Distribute the mode charge across dimer lines with the mode weights.
     for (size_t c = 0; c < ncol; ++c) {
       for (size_t j = 0; j < nlines; ++j) {
-        sol.electrons[c][j] += col_n[c] * m.weight[j];
-        sol.holes[c][j] += col_p[c] * m.weight[j];
+        sol.electrons[c][j] += mode_sum.col_n[c] * m.weight[j];
+        sol.holes[c][j] += mode_sum.col_p[c] * m.weight[j];
       }
     }
   }
@@ -153,33 +188,61 @@ TransportSolution solve_real_space(const gnr::Lattice& lat,
   const linalg::CMatrix sig_l = wide_band_self_energy(h.diag.front().rows(), opts.gamma_contact_eV);
   const linalg::CMatrix sig_r = wide_band_self_energy(h.diag.back().rows(), opts.gamma_contact_eV);
 
-  std::vector<double> n_per_atom(lat.atoms().size(), 0.0);
-  std::vector<double> p_per_atom(lat.atoms().size(), 0.0);
   TransportSolution sol;
   sol.energies_eV = grid.points;
   sol.transmission.assign(grid.points.size(), 0.0);
 
-  double current_integral = 0.0;
-  for (size_t ie = 0; ie < grid.points.size(); ++ie) {
-    const double e = grid.points[ie];
-    const double w = grid.weights[ie];
-    const RgfResult r = rgf_solve(h, e, opts.eta_eV, sig_l, sig_r);
-    sol.transmission[ie] = r.transmission;
-    const double f1 = constants::fermi(e - opts.mu_source_eV, opts.kT_eV);
-    const double f2 = constants::fermi(e - opts.mu_drain_eV, opts.kT_eV);
-    current_integral += w * r.transmission * (f1 - f2);
-    size_t orb = 0;
-    for (size_t b = 0; b < nb; ++b) {
-      for (const size_t atom : slices[b]) {
-        const BipolarDensity d = bipolar_density(r.spectral_left[orb], r.spectral_right[orb],
-                                                 e, onsite_eV[atom], f1, f2);
-        n_per_atom[atom] += w * d.electrons;
-        p_per_atom[atom] += w * d.holes;
-        ++orb;
-      }
-    }
-  }
-  sol.current_A = constants::kCurrentPrefactor * current_integral;
+  /// Per-chunk accumulator over the real-space energy grid.
+  struct RealPartial {
+    double current = 0.0;
+    std::vector<double> n_atom, p_atom;
+  };
+  const size_t natoms = lat.atoms().size();
+
+  // Parallel over energies (one block-RGF solve each); transmission writes
+  // are disjoint per ie and the charge/current partials fold in fixed
+  // chunk order — bit-identical for any thread count.
+  RealPartial init;
+  init.n_atom.assign(natoms, 0.0);
+  init.p_atom.assign(natoms, 0.0);
+  const RealPartial sum = par::parallel_reduce_ordered<RealPartial>(
+      grid.points.size(), kEnergyGrain, std::move(init),
+      [&](size_t begin, size_t end) {
+        RealPartial part;
+        part.n_atom.assign(natoms, 0.0);
+        part.p_atom.assign(natoms, 0.0);
+        for (size_t ie = begin; ie < end; ++ie) {
+          const double e = grid.points[ie];
+          const double w = grid.weights[ie];
+          const RgfResult r = rgf_solve(h, e, opts.eta_eV, sig_l, sig_r);
+          sol.transmission[ie] = r.transmission;
+          const double f1 = constants::fermi(e - opts.mu_source_eV, opts.kT_eV);
+          const double f2 = constants::fermi(e - opts.mu_drain_eV, opts.kT_eV);
+          part.current += w * r.transmission * (f1 - f2);
+          size_t orb = 0;
+          for (size_t b = 0; b < nb; ++b) {
+            for (const size_t atom : slices[b]) {
+              const BipolarDensity d = bipolar_density(r.spectral_left[orb],
+                                                       r.spectral_right[orb], e,
+                                                       onsite_eV[atom], f1, f2);
+              part.n_atom[atom] += w * d.electrons;
+              part.p_atom[atom] += w * d.holes;
+              ++orb;
+            }
+          }
+        }
+        return part;
+      },
+      [](RealPartial& acc, RealPartial&& part) {
+        acc.current += part.current;
+        for (size_t a = 0; a < acc.n_atom.size(); ++a) {
+          acc.n_atom[a] += part.n_atom[a];
+          acc.p_atom[a] += part.p_atom[a];
+        }
+      });
+  const std::vector<double>& n_per_atom = sum.n_atom;
+  const std::vector<double>& p_per_atom = sum.p_atom;
+  sol.current_A = constants::kCurrentPrefactor * sum.current;
 
   // Resolve per (column, dimer line): each slice holds two columns; the
   // column of an atom follows from its x offset within the slice.

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <filesystem>
+#include <fstream>
 
 #include "device/geometry.hpp"
 #include "device/selfconsistent.hpp"
@@ -169,6 +170,82 @@ TEST(TableGen, SaveLoadRoundTrip) {
   EXPECT_DOUBLE_EQ(r.at_current(2, 1), t.at_current(2, 1));
   EXPECT_DOUBLE_EQ(r.at_charge(1, 0), t.at_charge(1, 0));
   std::filesystem::remove(path);
+}
+
+TEST(TableGen, LoadRejectsMissingSizeMetadata) {
+  // A cache file truncated before its metadata block must produce a clear
+  // error naming the missing field, not std::stoul's bare invalid_argument.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gnrfet_table_missing_meta.csv").string();
+  {
+    std::ofstream out(path);
+    out << "# band_gap_eV = 0.6\n";
+    out << "vg,vd,current_A,charge_C\n";
+    out << "0,0,1e-6,-1e-19\n";
+  }
+  try {
+    load_table(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("nvg"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos) << e.what();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(TableGen, LoadRejectsMalformedSizeMetadata) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gnrfet_table_bad_meta.csv").string();
+  {
+    std::ofstream out(path);
+    out << "# nvg = banana\n";
+    out << "# nvd = 2\n";
+    out << "vg,vd,current_A,charge_C\n";
+    out << "0,0,1e-6,-1e-19\n";
+    out << "0,0.5,2e-6,-2e-19\n";
+  }
+  try {
+    load_table(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("malformed"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("banana"), std::string::npos) << e.what();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(TableGen, LoadRejectsRowCountMismatch) {
+  // A writer killed mid-stream leaves fewer rows than nvg*nvd promises;
+  // with the atomic-rename save this can only happen to hand-edited files,
+  // but the loader must still refuse them loudly.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gnrfet_table_torn.csv").string();
+  {
+    std::ofstream out(path);
+    out << "# nvg = 3\n# nvd = 2\n";
+    out << "vg,vd,current_A,charge_C\n";
+    out << "0,0,1e-6,-1e-19\n";
+  }
+  EXPECT_THROW(load_table(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(TableGen, SaveLeavesNoTempFileBehind) {
+  const auto dir = std::filesystem::temp_directory_path() / "gnrfet_atomic_save_test";
+  std::filesystem::create_directories(dir);
+  DeviceTable t;
+  t.vg = {0.0, 0.1};
+  t.vd = {0.0};
+  t.current_A = {0.0, 1e-6};
+  t.charge_C = {0.0, -1e-19};
+  save_table(t, (dir / "table.csv").string(), "key");
+  size_t entries = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    ++entries;
+    EXPECT_EQ(e.path().filename().string(), "table.csv");
+  }
+  EXPECT_EQ(entries, 1u);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(TableGen, TinyEndToEndGeneration) {
