@@ -78,6 +78,14 @@ struct Job {
 
 thread_local bool t_in_worker = false;
 
+/// Marks the current thread as inside a parallel region for a scope, so
+/// nested parallel_for calls run inline instead of re-entering the pool.
+struct InRegionGuard {
+  bool old = t_in_worker;
+  InRegionGuard() { t_in_worker = true; }
+  ~InRegionGuard() { t_in_worker = old; }
+};
+
 class ThreadPool {
  public:
   static ThreadPool& instance() {
@@ -98,6 +106,20 @@ class ThreadPool {
   }
 
   void run(Job& job) {
+    // Only one top-level region may be live at a time: job_/active_ track a
+    // single job, so a second concurrent caller must not overwrite them. A
+    // loser of the race runs its region inline on its own thread instead of
+    // blocking — blocking here could deadlock if the winner's job body
+    // waits on a lock the loser holds.
+    std::unique_lock<std::mutex> run_lk(run_mu_, std::try_to_lock);
+    if (!run_lk.owns_lock()) {
+      job.init(job.n, job.grain, 1);
+      InRegionGuard in_region;
+      job.work(0);
+      if (job.error) std::rethrow_exception(job.error);
+      return;
+    }
+
     std::unique_lock<std::mutex> lk(mu_);
     job.init(job.n, job.grain, static_cast<size_t>(target_threads_));
     job_ = &job;
@@ -105,8 +127,15 @@ class ThreadPool {
     lk.unlock();
     wake_cv_.notify_all();
 
-    // The caller is participant 0 and helps until the job drains.
-    job.work(0);
+    // The caller is participant 0 and helps until the job drains. It is
+    // marked in-region for the duration so a nested parallel_for in the job
+    // body (e.g. lazy NEGF table generation reached from a sample) runs
+    // inline instead of re-entering run() and waiting on workers that may
+    // in turn be blocked on a lock this thread holds.
+    {
+      InRegionGuard in_region;
+      job.work(0);
+    }
 
     // Detach the job so late-waking workers skip it, then wait for every
     // worker that did enter to leave before the job goes out of scope.
@@ -170,6 +199,7 @@ class ThreadPool {
   }
 
   std::mutex mu_;
+  std::mutex run_mu_;  ///< serializes top-level regions (see run())
   std::condition_variable wake_cv_;
   std::condition_variable done_cv_;
   std::vector<std::thread> workers_;

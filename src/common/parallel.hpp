@@ -17,8 +17,12 @@
 ///
 /// Thread count comes from GNRFET_THREADS (default: hardware concurrency;
 /// 1 = no worker threads, every region runs inline on the caller). Nested
-/// regions (a parallel loop entered from inside a pool worker) always run
-/// inline, which keeps warm-start chains and the pool itself deadlock-free.
+/// regions always run inline — whether entered from a pool worker or from
+/// the top-level caller while it executes its share of an enclosing
+/// region — which keeps warm-start chains and the pool itself
+/// deadlock-free. Only one top-level region is live at a time: if a second
+/// thread opens a region while another is running, the newcomer executes
+/// its whole region inline on its own thread (correct, just unaccelerated).
 namespace gnrfet::par {
 
 /// Resolved thread count (>= 1): GNRFET_THREADS, or hardware concurrency.
@@ -28,7 +32,8 @@ int thread_count();
 /// workers on demand). Must not be called from inside a parallel region.
 void set_thread_count(int n);
 
-/// True when the calling thread is a pool worker executing a chunk.
+/// True while the calling thread is executing chunks of a region — as a
+/// pool worker or as the top-level caller helping its own region.
 bool in_parallel_region();
 
 /// Number of fixed chunks covering [0, n) at the given grain. The layout

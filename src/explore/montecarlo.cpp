@@ -27,14 +27,23 @@ MonteCarloResult run_ring_monte_carlo(DesignKit& kit, const MonteCarloOptions& o
                                        nominal, ropt);
 
   // Width draws: N = 12 + 3 * z with z in {-1, 0, +1} -> {9, 12, 15};
-  // charge draws: q = z in {-1, 0, +1}. Samples run in parallel; each
-  // draws from its own counter-seeded generator (seed ^ sample index), so
-  // every sample's variant stream is a pure function of its index and the
-  // statistics are invariant to thread count and scheduling.
+  // charge draws: q = z in {-1, 0, +1}. Warm every table the draws can
+  // reach before fanning out (mirrors explore_plane's vt0() warm-up): a
+  // cold-cache miss inside a sample would otherwise run the whole NEGF
+  // table generation inline under the kit mutex, serializing the pool.
+  for (int n : {9, 12, 15}) {
+    for (int q : {-1, 0, 1}) kit.table({n, static_cast<double>(q)});
+  }
+
+  // Samples run in parallel; each draws from its own generator seeded by
+  // seed_seq-mixing (seed, sample index), so every sample's variant stream
+  // is a pure function of its index — statistics are invariant to thread
+  // count and scheduling, and adjacent indices get uncorrelated states.
   const size_t nsamples = opts.samples > 0 ? static_cast<size_t>(opts.samples) : 0;
   result.samples.assign(nsamples, MonteCarloSample{});
   par::parallel_for(nsamples, [&](size_t s) {
-    std::mt19937 rng(opts.seed ^ static_cast<unsigned>(s));
+    std::seed_seq seq{opts.seed, static_cast<unsigned>(s)};
+    std::mt19937 rng(seq);
     std::vector<circuit::InverterModels> stages;
     stages.reserve(15);
     for (int i = 0; i < 15; ++i) {

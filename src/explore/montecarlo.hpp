@@ -23,8 +23,9 @@ struct DiscretizedNormal {
 struct MonteCarloOptions {
   int samples = 200;
   /// Base seed (DAC 2008 conference date). Sample s draws from a fresh
-  /// mt19937 seeded with `seed ^ s`, so the sample streams are independent
-  /// of thread count and scheduling.
+  /// mt19937 seeded via std::seed_seq{seed, s}, so the sample streams are
+  /// independent of thread count and scheduling, and distinct (seed, s)
+  /// pairs get uncorrelated generator states.
   unsigned seed = 20080608;
   double vt = 0.13;
   double vdd = 0.4;

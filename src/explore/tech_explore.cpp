@@ -35,9 +35,13 @@ const device::DeviceTable& DesignKit::table(const VariantSpec& v) {
 
 void DesignKit::set_table(const VariantSpec& v, device::DeviceTable table) {
   std::lock_guard<std::recursive_mutex> lk(mu_);
-  tables_.insert_or_assign(v, std::move(table));
-  fet_tables_.erase(v);
-  if (v.n_index == 12 && v.impurity_q == 0.0) vt0_ = -1.0;
+  // Refuse to replace an existing entry: table() hands out references whose
+  // validity rests on map entries never being destroyed or reassigned.
+  if (!tables_.emplace(v, std::move(table)).second) {
+    throw std::logic_error(
+        "DesignKit::set_table: variant already has a table; inject tables "
+        "before the variant's first use");
+  }
 }
 
 double DesignKit::vt0() {

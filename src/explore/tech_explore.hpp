@@ -40,8 +40,10 @@ class DesignKit {
   const device::DeviceTable& table(const VariantSpec& v);
 
   /// Inject a pre-built table for a variant (tests and synthetic studies:
-  /// lets the circuit layers run without the NEGF pipeline). Drops any
-  /// model tables derived from the variant; resets vt0 for the nominal.
+  /// lets the circuit layers run without the NEGF pipeline). Setup-only:
+  /// must happen before the variant's first use — overwriting an existing
+  /// entry would invalidate references handed out by table(), so it throws
+  /// std::logic_error instead.
   void set_table(const VariantSpec& v, device::DeviceTable table);
 
   /// Threshold voltage of the nominal (N=12, ideal) device at low VD with

@@ -2,14 +2,25 @@
 
 #include <cmath>
 #include <random>
+#include <stdexcept>
 
 #include "explore/contours.hpp"
 #include "explore/montecarlo.hpp"
 #include "explore/tech_explore.hpp"
+#include "synthetic_device.hpp"
 
 namespace {
 
 using namespace gnrfet;
+
+TEST(DesignKit, SetTableRejectsOverwrite) {
+  // table() hands out references backed by map entries; replacing an entry
+  // would invalidate them, so a second injection for the same variant must
+  // be refused.
+  explore::DesignKit kit;
+  kit.set_table({12, 0.0}, synthetic::synthetic_table());
+  EXPECT_THROW(kit.set_table({12, 0.0}, synthetic::synthetic_table()), std::logic_error);
+}
 
 TEST(Contours, CircleLevelSet) {
   // f(x,y) = x^2 + y^2 over [-1,1]^2; the 0.25 level is a circle of

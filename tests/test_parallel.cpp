@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <cmath>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/parallel.hpp"
@@ -86,6 +88,40 @@ TEST(Parallel, NestedRegionsRunInlineWithoutDeadlock) {
     par::parallel_for(8, [&](size_t inner) { hits[outer * 8 + inner].fetch_add(1); });
   });
   for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(Parallel, CallerNestedRegionUnderSharedLockDoesNotDeadlock) {
+  // Regression: every participant — including the top-level caller — takes
+  // a shared lock and opens a nested region while holding it. The nested
+  // region must run inline on the holder; if the caller's nested region
+  // re-entered the pool instead, it would wait for workers that are
+  // blocked on the lock the caller holds (permanent hang). This is the
+  // shape of a cold-cache Monte Carlo sample generating a device table
+  // under the DesignKit mutex.
+  ThreadCountGuard guard(4);
+  std::mutex mu;
+  std::atomic<int> total{0};
+  par::parallel_for(16, [&](size_t) {
+    std::lock_guard<std::mutex> lk(mu);
+    par::parallel_for(4, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(Parallel, ConcurrentTopLevelRegionsFromTwoThreadsComplete) {
+  // Two non-worker threads open top-level regions at once; one wins the
+  // pool, the other must fall back to inline execution — both regions
+  // still cover every index exactly once.
+  ThreadCountGuard guard(4);
+  std::vector<std::atomic<int>> hits(2000);
+  for (auto& h : hits) h.store(0);
+  std::thread other(
+      [&] { par::parallel_for(1000, [&](size_t i) { hits[i].fetch_add(1); }); });
+  par::parallel_for(1000, [&](size_t i) { hits[1000 + i].fetch_add(1); });
+  other.join();
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
 }
 
 TEST(Parallel, FirstExceptionPropagatesToCaller) {
