@@ -1,10 +1,10 @@
 #include "bench_common.hpp"
 
 #include <cstdio>
-#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 
+#include "common/env.hpp"
 #include "common/parallel.hpp"
 
 namespace gnrfet::bench {
@@ -24,12 +24,7 @@ void banner(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
 }
 
-int env_int(const char* name, int fallback) {
-  const char* v = std::getenv(name);
-  if (!v || !*v) return fallback;
-  const int parsed = std::atoi(v);
-  return parsed > 0 ? parsed : fallback;
-}
+int env_int(const char* name, int fallback) { return common::env_int(name, fallback); }
 
 PhaseTimer::PhaseTimer(std::string bench, std::string phase)
     : bench_(std::move(bench)), phase_(std::move(phase)),

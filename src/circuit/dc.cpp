@@ -22,6 +22,7 @@ bool newton(const Circuit& ckt, std::vector<double>& x, double source_scale,
     std::vector<double> res(n, 0.0);
     Stamper st(ckt, x, jac, res);
     for (const auto& e : ckt.elements()) e->stamp(st, ctx);
+    check_mna_stamp(ckt, jac, res);
     double res_norm = 0.0;
     for (const double r : res) res_norm = std::max(res_norm, std::abs(r));
     if (iterations) *iterations = it;

@@ -1,6 +1,39 @@
 #include "circuit/mna.hpp"
 
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/strings.hpp"
+
 namespace gnrfet::circuit {
+
+void check_mna_stamp(const Circuit& ckt, const linalg::DMatrix& jac,
+                     const std::vector<double>& res) {
+#if GNRFET_CHECKS_ENABLED
+  const size_t n = ckt.num_unknowns();
+  for (size_t i = 0; i < n; ++i) {
+    GNRFET_CHECK_FINITE("circuit", "finite-stamp", res[i]);
+    for (size_t j = 0; j < n; ++j) {
+      GNRFET_REQUIRE("circuit", "finite-stamp", std::isfinite(jac(i, j)),
+                     strings::format("Jacobian(%zu, %zu) = %g (degenerate element stamp?)", i,
+                                     j, jac(i, j)));
+    }
+  }
+  for (size_t b = 0; b < ckt.num_branches(); ++b) {
+    const size_t row = ckt.unknown_of_branch(b);
+    bool structural = false;
+    for (size_t j = 0; j < n && !structural; ++j) structural = jac(row, j) != 0.0;
+    GNRFET_REQUIRE("circuit", "structural-rank", structural,
+                   strings::format("branch row %zu is all-zero: voltage source shorted to "
+                                   "itself or stamped between identical nodes",
+                                   b));
+  }
+#else
+  (void)ckt;
+  (void)jac;
+  (void)res;
+#endif
+}
 
 Circuit::Circuit() { node_names_.push_back("gnd"); }
 

@@ -95,6 +95,17 @@ class Stamper {
   std::vector<double>& res_;
 };
 
+/// Contract check of one assembled MNA system (subsystem "circuit"):
+/// every Jacobian and residual entry must be finite ("finite-stamp" — an
+/// inf/NaN stamp means a degenerate element, e.g. a zero-ohm resistor),
+/// and every voltage-source branch row must have at least one structural
+/// entry ("structural-rank" — an all-zero branch row is a source shorted
+/// to itself, which makes the matrix singular no matter the gmin). Node
+/// rows may float: the solvers regularize them with gmin by design.
+/// Compiled out under GNRFET_CHECKS=OFF.
+void check_mna_stamp(const Circuit& ckt, const linalg::DMatrix& jac,
+                     const std::vector<double>& res);
+
 /// Per-step context for charge-storage elements. dt <= 0 means DC (charge
 /// branches are open). `state_prev` holds each element's committed state
 /// from the previous accepted step; `state_next` is written during

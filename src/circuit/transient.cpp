@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
+#include "common/strings.hpp"
 #include "linalg/lu.hpp"
 
 namespace gnrfet::circuit {
@@ -24,6 +26,11 @@ std::vector<double> Waveforms::branch(const Circuit& ckt, size_t branch_index) c
 }
 
 TransientResult run_transient(const Circuit& ckt, const TransientOptions& opts) {
+  GNRFET_REQUIRE("circuit", "positive-timestep", opts.dt > 0.0 && std::isfinite(opts.dt),
+                 strings::format("dt = %g must be finite and > 0", opts.dt));
+  GNRFET_REQUIRE("circuit", "finite-horizon",
+                 opts.t_stop >= 0.0 && std::isfinite(opts.t_stop),
+                 strings::format("t_stop = %g must be finite and >= 0", opts.t_stop));
   TransientResult result;
   const size_t n = ckt.num_unknowns();
 
@@ -66,6 +73,7 @@ TransientResult run_transient(const Circuit& ckt, const TransientOptions& opts) 
       std::fill(state_next.begin(), state_next.end(), 0.0);
       Stamper st(ckt, x, jac, res);
       for (const auto& e : ckt.elements()) e->stamp(st, ctx);
+      check_mna_stamp(ckt, jac, res);
       double res_norm = 0.0;
       for (const double r : res) res_norm = std::max(res_norm, std::abs(r));
       for (size_t i = 0; i + ckt.num_branches() < n; ++i) jac(i, i) += 1e-12;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.hpp"
+#include "common/strings.hpp"
+
 namespace gnrfet::cmos {
 
 namespace {
@@ -26,7 +29,15 @@ double raw_current(const CmosParams& p, double vgs, double vds) {
 }
 }  // namespace
 
-CmosFet::CmosFet(const CmosParams& params) : params_(params) {}
+CmosFet::CmosFet(const CmosParams& params) : params_(params) {
+  GNRFET_REQUIRE("cmos", "physical-parameters",
+                 params.width_um > 0.0 && std::isfinite(params.width_um) &&
+                     params.k_A_per_um >= 0.0 && std::isfinite(params.vth_V) &&
+                     params.subthreshold_n > 0.0,
+                 strings::format("width_um = %g, k_A_per_um = %g, vth_V = %g, n = %g",
+                                 params.width_um, params.k_A_per_um, params.vth_V,
+                                 params.subthreshold_n));
+}
 
 model::FetSample CmosFet::current_fwd(double vgs, double vds) const {
   // Central differences: the model is smooth and cheap, and numerical

@@ -1,15 +1,15 @@
 #include "common/cache.hpp"
 
-#include <cstdlib>
 #include <filesystem>
 
+#include "common/env.hpp"
 #include "common/strings.hpp"
 
 namespace gnrfet::cache {
 
 std::string directory() {
   namespace fs = std::filesystem;
-  if (const char* env = std::getenv("GNRFET_CACHE_DIR"); env && *env) {
+  if (const std::string env = common::env_or("GNRFET_CACHE_DIR", ""); !env.empty()) {
     fs::create_directories(env);
     return env;
   }

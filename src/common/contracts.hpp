@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+/// Machine-checked physics and numerics contracts.
+///
+/// The paper's claims rest on identities the solvers would otherwise trust
+/// silently: Hermiticity of the tight-binding Hamiltonian, the NEGF
+/// spectral sum rule, ballistic source/drain current continuity, bounded
+/// Poisson residuals, non-singular MNA stamps, NaN-free bias tables.
+/// GNRFET_REQUIRE (precondition), GNRFET_ENSURE (postcondition) and
+/// GNRFET_CHECK_FINITE guard those invariants with a typed error
+/// (ContractViolation) naming the subsystem and the invariant, so a
+/// corrupted input is rejected at the layer where it originates instead of
+/// surfacing three layers up as a wrong contour plot.
+///
+/// Checks compile in by default. Configuring with -DGNRFET_CHECKS=OFF
+/// defines GNRFET_DISABLE_CHECKS and every macro becomes a dead branch
+/// that still type-checks its operands but never evaluates them, so
+/// Release builds pay nothing. Blocks of supporting computation that only
+/// feed a contract should be guarded with `#if GNRFET_CHECKS_ENABLED`.
+namespace gnrfet::contracts {
+
+/// Typed contract failure: which subsystem ("gnr", "negf", "poisson",
+/// "device", "device/tablegen", "circuit", "model", ...), which named
+/// invariant, and a detail string quoting the offending values.
+class ContractViolation : public std::runtime_error {
+ public:
+  ContractViolation(std::string subsystem, std::string invariant, std::string detail,
+                    const char* file, int line);
+
+  const std::string& subsystem() const { return subsystem_; }
+  const std::string& invariant() const { return invariant_; }
+  const std::string& detail() const { return detail_; }
+
+ private:
+  std::string subsystem_;
+  std::string invariant_;
+  std::string detail_;
+};
+
+/// Throws ContractViolation; out-of-line so call sites stay compact.
+[[noreturn]] void fail(const char* subsystem, const char* invariant, const std::string& detail,
+                       const char* file, int line);
+
+/// True when every element is finite (no NaN, no infinity).
+bool all_finite(const double* data, size_t n);
+bool all_finite(const std::vector<double>& v);
+bool all_finite(const std::vector<std::vector<double>>& v);
+
+/// True when the axis is finite and strictly ascending (bias-table axes).
+bool strictly_ascending(const std::vector<double>& axis);
+
+}  // namespace gnrfet::contracts
+
+#if defined(GNRFET_DISABLE_CHECKS)
+
+#define GNRFET_CHECKS_ENABLED 0
+// Disabled: operands stay visible to the compiler (so a checks-off build
+// cannot rot) but are never evaluated — zero runtime cost.
+#define GNRFET_REQUIRE(subsystem, invariant, cond, detail) \
+  do {                                                     \
+    if (false) {                                           \
+      (void)(cond);                                        \
+      (void)(detail);                                      \
+    }                                                      \
+  } while (0)
+
+#else
+
+#define GNRFET_CHECKS_ENABLED 1
+#define GNRFET_REQUIRE(subsystem, invariant, cond, detail)                               \
+  do {                                                                                   \
+    if (!(cond)) {                                                                       \
+      ::gnrfet::contracts::fail((subsystem), (invariant), (detail), __FILE__, __LINE__); \
+    }                                                                                    \
+  } while (0)
+
+#endif
+
+/// Postcondition flavour of GNRFET_REQUIRE: the solver promising something
+/// about its own output rather than rejecting a caller's input.
+#define GNRFET_ENSURE(subsystem, invariant, cond, detail) \
+  GNRFET_REQUIRE(subsystem, invariant, cond, detail)
+
+/// Single-scalar finiteness contract; quotes the offending value.
+#define GNRFET_CHECK_FINITE(subsystem, invariant, value)      \
+  GNRFET_REQUIRE(subsystem, invariant, std::isfinite(value),  \
+                 std::string(#value " is not finite: ") + std::to_string(value))

@@ -1,0 +1,24 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+namespace gnrfet::common {
+
+std::string env_or(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v && *v) ? std::string(v) : fallback;
+}
+
+bool env_set(const char* name) {
+  const char* v = std::getenv(name);
+  return v && *v;
+}
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  const int parsed = std::atoi(v);
+  return parsed >= 1 ? parsed : fallback;
+}
+
+}  // namespace gnrfet::common

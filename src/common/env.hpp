@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+/// Checked environment-variable access. Direct std::getenv returns a raw
+/// pointer that is easy to dereference unchecked and easy to parse
+/// inconsistently; these helpers centralize the null/empty/malformed
+/// handling. The repo lint (tools/gnrfet_lint.cpp) bans std::getenv
+/// outside src/common/ for that reason.
+namespace gnrfet::common {
+
+/// Value of `name`, or `fallback` when unset or empty.
+std::string env_or(const char* name, const std::string& fallback);
+
+/// True when `name` is set to a non-empty value.
+bool env_set(const char* name);
+
+/// Positive-integer value of `name`; `fallback` when unset, empty, or not
+/// parseable as an integer >= 1.
+int env_int(const char* name, int fallback);
+
+}  // namespace gnrfet::common

@@ -2,11 +2,12 @@
 
 #include <atomic>
 #include <condition_variable>
-#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+
+#include "common/env.hpp"
 
 namespace gnrfet::par {
 
@@ -164,12 +165,8 @@ class ThreadPool {
   }
 
   static int resolve_env_threads() {
-    if (const char* env = std::getenv("GNRFET_THREADS"); env && *env) {
-      const int n = std::atoi(env);
-      if (n >= 1) return n;
-    }
     const unsigned hw = std::thread::hardware_concurrency();
-    return hw >= 1 ? static_cast<int>(hw) : 1;
+    return common::env_int("GNRFET_THREADS", hw >= 1 ? static_cast<int>(hw) : 1);
   }
 
   void ensure_workers(std::unique_lock<std::mutex>&) {

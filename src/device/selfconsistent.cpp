@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/contracts.hpp"
+#include "common/strings.hpp"
 #include "poisson/nonlinear.hpp"
 
 namespace gnrfet::device {
@@ -12,6 +14,9 @@ SelfConsistentSolver::SelfConsistentSolver(const DeviceGeometry& geometry,
 
 DeviceSolution SelfConsistentSolver::solve(const BiasPoint& bias,
                                            const DeviceSolution* warm_start) const {
+  GNRFET_REQUIRE("device", "finite-bias", std::isfinite(bias.vg) && std::isfinite(bias.vd),
+                 strings::format("bias point (vg = %g, vd = %g) contains NaN/inf", bias.vg,
+                                 bias.vd));
   const auto& dom = geo_.domain();
   const auto& grid = dom.spec();
   const auto& lat = geo_.lattice();
@@ -100,6 +105,19 @@ DeviceSolution SelfConsistentSolver::solve(const BiasPoint& bias,
   }
   transport = negf::solve_mode_space(geo_.modes(), u, topt);
 
+  // Ballistic source/drain current continuity: the drain-side Landauer
+  // integral (independent right-connected RGF sweeps) must agree with the
+  // source-side one. A mismatch means the two contact solutions see
+  // different devices — the Zhao-Guo failure mode where edge effects
+  // decouple the mode-space from the real-space picture.
+  GNRFET_ENSURE("device", "source-drain-current-continuity",
+                std::abs(transport.current_A - transport.current_drain_A) <=
+                    1e-6 * (std::abs(transport.current_A) +
+                            std::abs(transport.current_drain_A)) +
+                        1e-15,
+                strings::format("I_source = %.12g A vs I_drain = %.12g A at vg = %g, vd = %g",
+                                transport.current_A, transport.current_drain_A, bias.vg,
+                                bias.vd));
   sol.current_A = transport.current_A;
   sol.net_electrons = transport.total_net_electrons;
   sol.phi_full = std::move(phi);

@@ -8,6 +8,7 @@
 
 #include "common/cache.hpp"
 #include "common/constants.hpp"
+#include "common/contracts.hpp"
 #include "common/csv.hpp"
 #include "common/parallel.hpp"
 #include "device/sweeps.hpp"
@@ -50,6 +51,23 @@ void save_table(const DeviceTable& table, const std::string& path, const std::st
 }
 
 namespace {
+
+/// Contract check of a finished table, whether freshly generated or loaded
+/// from the on-disk cache: bias axes strictly ascending, every current and
+/// charge entry finite, band gap physical. `origin` names the producer in
+/// the violation detail.
+void validate_table(const DeviceTable& table, const std::string& origin) {
+  GNRFET_REQUIRE("device/tablegen", "monotone-bias-axes",
+                 contracts::strictly_ascending(table.vg) &&
+                     contracts::strictly_ascending(table.vd),
+                 origin + ": vg/vd axes must be finite and strictly ascending");
+  GNRFET_REQUIRE("device/tablegen", "finite-table",
+                 contracts::all_finite(table.current_A) && contracts::all_finite(table.charge_C),
+                 origin + ": current/charge entries contain NaN/inf");
+  GNRFET_REQUIRE("device/tablegen", "physical-band-gap",
+                 std::isfinite(table.band_gap_eV) && table.band_gap_eV >= 0.0,
+                 origin + ": band_gap_eV = " + std::to_string(table.band_gap_eV));
+}
 
 /// Parse a required size_t metadata field of a cached table, with errors
 /// that name the file and field instead of std::stoul's bare exceptions.
@@ -99,6 +117,7 @@ DeviceTable load_table(const std::string& path) {
       table.charge_C[row] = t.at(row, "charge_C");
     }
   }
+  validate_table(table, "load_table(" + path + ")");
   return table;
 }
 
@@ -144,6 +163,7 @@ DeviceTable generate_device_table(const DeviceSpec& spec, const TableGenOptions&
     }
   });
 
+  validate_table(table, "generate_device_table");
   if (opts.use_cache) save_table(table, path, payload);
   return table;
 }

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.hpp"
 #include "common/parallel.hpp"
+#include "common/strings.hpp"
 
 namespace gnrfet::explore {
 
@@ -52,6 +54,11 @@ MonteCarloResult run_ring_monte_carlo(DesignKit& kit, const MonteCarloOptions& o
       stages.push_back(kit.inverter_with_variants(nv, pv, 4, opts.vt));
     }
     const circuit::RingMetrics m = circuit::measure_ring_oscillator(stages, nominal, ropt);
+    GNRFET_ENSURE("explore", "finite-sample-metrics",
+                  !m.ok || (std::isfinite(m.frequency_Hz) && std::isfinite(m.static_power_W) &&
+                            std::isfinite(m.dynamic_power_W)),
+                  strings::format("sample %zu: f = %g Hz, Pstat = %g W, Pdyn = %g W", s,
+                                  m.frequency_Hz, m.static_power_W, m.dynamic_power_W));
     MonteCarloSample sample;
     sample.ok = m.ok;
     sample.frequency_Hz = m.frequency_Hz;

@@ -1,11 +1,39 @@
 #include "gnr/hamiltonian.hpp"
 
+#include <limits>
 #include <map>
 #include <stdexcept>
 
 #include "common/constants.hpp"
+#include "common/contracts.hpp"
 
 namespace gnrfet::gnr {
+
+double hermiticity_error(const BlockTridiagonal& h) {
+  double err = 0.0;
+  for (const auto& d : h.diag) {
+    for (size_t i = 0; i < d.rows(); ++i) {
+      for (size_t j = 0; j <= i; ++j) {
+        const auto delta = d(i, j) - std::conj(d(j, i));
+        if (!std::isfinite(delta.real()) || !std::isfinite(delta.imag())) {
+          return std::numeric_limits<double>::infinity();
+        }
+        err = std::max(err, std::abs(delta));
+      }
+    }
+  }
+  for (const auto& u : h.upper) {
+    for (size_t i = 0; i < u.rows(); ++i) {
+      for (size_t j = 0; j < u.cols(); ++j) {
+        const auto v = u(i, j);
+        if (!std::isfinite(v.real()) || !std::isfinite(v.imag())) {
+          return std::numeric_limits<double>::infinity();
+        }
+      }
+    }
+  }
+  return err;
+}
 
 size_t BlockTridiagonal::total_dim() const {
   size_t n = 0;
@@ -42,6 +70,11 @@ BlockTridiagonal build_hamiltonian(const Lattice& lat, const TightBindingParams&
   if (onsite_eV.size() != lat.atoms().size()) {
     throw std::invalid_argument("build_hamiltonian: onsite size mismatch");
   }
+  GNRFET_REQUIRE("gnr", "finite-onsite", contracts::all_finite(onsite_eV),
+                 "onsite energy array contains NaN/inf (poisoned potential?)");
+  GNRFET_REQUIRE("gnr", "finite-hopping",
+                 std::isfinite(params.hopping_eV) && std::isfinite(params.edge_delta),
+                 "tight-binding parameters contain NaN/inf");
   const auto& slices = lat.slice_atoms();
   const size_t ns = slices.size();
 

@@ -23,6 +23,12 @@ struct BlockTridiagonal {
   linalg::CMatrix to_dense() const;
 };
 
+/// Largest |H_ij - conj(H_ji)| over the diagonal blocks (the off-diagonal
+/// blocks are Hermitian by the storage convention), or infinity when any
+/// entry is non-finite. The NEGF layer requires this to be ~0 on entry:
+/// a non-Hermitian Hamiltonian silently breaks the spectral sum rule.
+double hermiticity_error(const BlockTridiagonal& h);
+
 /// Parameters of the pz model.
 struct TightBindingParams {
   double hopping_eV = 2.7;   ///< paper value

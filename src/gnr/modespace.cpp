@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "common/constants.hpp"
+#include "common/contracts.hpp"
+#include "common/strings.hpp"
 
 namespace gnrfet::gnr {
 
@@ -54,6 +56,18 @@ ModeSet build_mode_set(int n_index, const TightBindingParams& params, int num_mo
   if (set.modes.size() > static_cast<size_t>(num_modes)) {
     set.modes.resize(static_cast<size_t>(num_modes));
   }
+  // Each transverse mode profile is normalized: its dimer-line weights are
+  // |phi_p(j)|^2 and must sum to 1, or the mode-space charge would not
+  // conserve the real-space density of states.
+  for (const auto& m : set.modes) {
+    double wsum = 0.0;
+    for (const double w : m.weight) wsum += w;
+    GNRFET_ENSURE("gnr", "normalized-mode-weights", std::abs(wsum - 1.0) <= 1e-12 * n,
+                  strings::format("mode p = %d: sum of weights = %.15g", m.p, wsum));
+  }
+  GNRFET_ENSURE("gnr", "physical-band-gap",
+                std::isfinite(set.band_gap_eV()) && set.band_gap_eV() >= 0.0,
+                strings::format("band gap = %g eV", set.band_gap_eV()));
   return set;
 }
 

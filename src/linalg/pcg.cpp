@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
+
 namespace gnrfet::linalg {
 
 namespace {
@@ -38,6 +40,8 @@ PcgResult pcg_solve(const SparseMatrix& a, const std::vector<double>& b,
     result.iterations = it;
     if (r_norm <= opts.rel_tolerance * b_norm || r_norm <= opts.abs_tolerance) {
       result.converged = true;
+      GNRFET_ENSURE("linalg", "finite-solution", contracts::all_finite(x),
+                    "PCG converged to a solution containing NaN/inf");
       return result;
     }
     a.multiply(p, ap);

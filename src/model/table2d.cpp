@@ -5,6 +5,8 @@
 #include <functional>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
+
 namespace gnrfet::model {
 
 namespace {
@@ -44,6 +46,8 @@ Table2D::Table2D(std::vector<double> xs, std::vector<double> ys, std::vector<dou
   if (v_.size() != xs_.size() * ys_.size()) {
     throw std::invalid_argument("Table2D: value count mismatch");
   }
+  GNRFET_REQUIRE("model", "finite-table", contracts::all_finite(v_),
+                 "interpolation table contains NaN/inf values");
   dx_ = xs_[1] - xs_[0];
   dy_ = ys_[1] - ys_[0];
 }

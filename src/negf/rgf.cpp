@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/contracts.hpp"
+#include "common/strings.hpp"
 #include "linalg/lu.hpp"
 #include "negf/selfenergy.hpp"
 
@@ -22,6 +24,10 @@ CMatrix block_a(const CMatrix& hd, cplx e) {
   return a;
 }
 
+/// Tolerance for |H - H^dagger| (eV); hopping energies are O(1) eV and the
+/// Hamiltonian is assembled, not accumulated, so exact symmetry is expected.
+constexpr double kHermitianTol_eV = 1e-9;
+
 void check_contact_shapes(const gnr::BlockTridiagonal& h, const CMatrix& sl, const CMatrix& sr) {
   if (h.num_blocks() < 2) throw std::invalid_argument("rgf: need >= 2 blocks");
   if (sl.rows() != h.diag.front().rows() || sl.cols() != h.diag.front().cols()) {
@@ -37,6 +43,17 @@ void check_contact_shapes(const gnr::BlockTridiagonal& h, const CMatrix& sl, con
 RgfResult rgf_solve(const gnr::BlockTridiagonal& h, double energy_eV, double eta_eV,
                     const CMatrix& sigma_left, const CMatrix& sigma_right) {
   check_contact_shapes(h, sigma_left, sigma_right);
+  GNRFET_REQUIRE("negf", "positive-broadening", eta_eV > 0.0 && std::isfinite(eta_eV),
+                 strings::format("eta_eV = %g must be finite and > 0", eta_eV));
+  GNRFET_CHECK_FINITE("negf", "finite-energy", energy_eV);
+#if GNRFET_CHECKS_ENABLED
+  {
+    const double herm = gnr::hermiticity_error(h);
+    GNRFET_REQUIRE("negf", "hermitian-hamiltonian", herm <= kHermitianTol_eV,
+                   strings::format("max |H - H^dagger| = %g eV exceeds %g", herm,
+                                   kHermitianTol_eV));
+  }
+#endif
   const size_t nb = h.num_blocks();
   const cplx e(energy_eV, eta_eV);
 
@@ -82,6 +99,11 @@ RgfResult rgf_solve(const gnr::BlockTridiagonal& h, double energy_eV, double eta
     const CMatrix m = gamma_l * (g_0n * (gamma_r * g_0n.adjoint()));
     r.transmission = m.trace().real();
   }
+  // Transmission is Tr of a positive-semidefinite product: finite and
+  // nonnegative up to roundoff, bounded by the contact channel count.
+  GNRFET_ENSURE("negf", "transmission-positive",
+                std::isfinite(r.transmission) && r.transmission >= -1e-9,
+                strings::format("T(E=%g) = %g", energy_eV, r.transmission));
   // Contact spectral functions: A_R,ii from the last-column blocks,
   // A_L,ii = A_ii - A_R,ii with A = i (G - G^dagger).
   r.spectral_left.reserve(h.total_dim());
@@ -92,6 +114,15 @@ RgfResult rgf_solve(const gnr::BlockTridiagonal& h, double energy_eV, double eta
     for (size_t k = 0; k < n; ++k) {
       const double a_tot = -2.0 * gdiag[i](k, k).imag();
       const double a_r = ar(k, k).real();
+      // Spectral sum rule A = G (Gamma_L + Gamma_R + 2 eta) G^dagger on the
+      // diagonal: A_ii >= (A_R)_ii >= 0 up to roundoff. A violation means
+      // the drain-injected density exceeds the total density of states —
+      // exactly the failure mode of a corrupted H or self-energy.
+      GNRFET_ENSURE("negf", "spectral-sum-rule",
+                    std::isfinite(a_tot) && a_r >= -1e-9 &&
+                        a_tot - a_r >= -1e-9 * (1.0 + std::abs(a_tot) + std::abs(a_r)),
+                    strings::format("block %zu orbital %zu: A_tot = %g, A_R = %g at E = %g",
+                                    i, k, a_tot, a_r, energy_eV));
       r.spectral_right.push_back(a_r);
       r.spectral_left.push_back(std::max(0.0, a_tot - a_r));
     }
@@ -135,6 +166,24 @@ RgfResult dense_reference_solve(const gnr::BlockTridiagonal& h, double energy_eV
 
   RgfResult r;
   r.transmission = t.trace().real();
+#if GNRFET_CHECKS_ENABLED
+  // Full spectral identity A = G (Gamma_L + Gamma_R) G^dagger + 2 eta G
+  // G^dagger, checked entry-wise on the diagonal. Only affordable here (one
+  // dense solve per energy already); the RGF path checks the diagonal sum
+  // rule instead.
+  {
+    const CMatrix al = g * (gamma_l * g.adjoint());
+    const CMatrix gg = g * g.adjoint();
+    for (size_t k = 0; k < n; ++k) {
+      const double a_tot = -2.0 * g(k, k).imag();
+      const double rhs = al(k, k).real() + ar(k, k).real() + 2.0 * eta_eV * gg(k, k).real();
+      const double scale = std::abs(a_tot) + std::abs(rhs) + 1.0;
+      GNRFET_ENSURE("negf", "spectral-identity", std::abs(a_tot - rhs) <= 1e-8 * scale,
+                    strings::format("orbital %zu: i(G - G^dagger) = %g vs G Gamma G^dagger = %g",
+                                    k, a_tot, rhs));
+    }
+  }
+#endif
   r.spectral_left.resize(n);
   r.spectral_right.resize(n);
   // Same convention as rgf_solve: A_R exact from Gamma_R, A_L as the

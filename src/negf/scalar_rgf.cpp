@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "common/contracts.hpp"
+#include "common/strings.hpp"
+
 namespace gnrfet::negf {
 
 using cplx = std::complex<double>;
@@ -12,6 +15,12 @@ ScalarRgfResult scalar_rgf_solve(const ScalarChain& chain, double energy_eV, dou
   if (chain.hopping.size() != n - 1) {
     throw std::invalid_argument("scalar_rgf: hopping size mismatch");
   }
+  GNRFET_REQUIRE("negf", "finite-chain",
+                 contracts::all_finite(chain.onsite) && contracts::all_finite(chain.hopping) &&
+                     std::isfinite(chain.gamma_left) && std::isfinite(chain.gamma_right),
+                 "scalar chain contains NaN/inf onsite or hopping energies");
+  GNRFET_REQUIRE("negf", "positive-broadening", eta_eV > 0.0 && std::isfinite(eta_eV),
+                 strings::format("eta_eV = %g must be finite and > 0", eta_eV));
   const cplx e(energy_eV, eta_eV);
   const cplx sig_l(0.0, -0.5 * chain.gamma_left);
   const cplx sig_r(0.0, -0.5 * chain.gamma_right);
@@ -40,14 +49,53 @@ ScalarRgfResult scalar_rgf_solve(const ScalarChain& chain, double energy_eV, dou
 
   ScalarRgfResult r;
   r.transmission = chain.gamma_left * chain.gamma_right * std::norm(gcol[0]);
+  r.transmission_reverse = r.transmission;
+  // One transverse subband carries at most one conductance quantum:
+  // 0 <= T(E) <= 1 for any chain with these wide-band contacts.
+  GNRFET_ENSURE("negf", "transmission-positive",
+                std::isfinite(r.transmission) && r.transmission >= -1e-9 &&
+                    r.transmission <= 1.0 + 1e-6,
+                strings::format("scalar T(E=%g) = %g outside [0, 1]", energy_eV,
+                                r.transmission));
   r.spectral_left.resize(n);
   r.spectral_right.resize(n);
   for (size_t c = 0; c < n; ++c) {
     const double a_tot = -2.0 * gd[c].imag();
     const double a_r = chain.gamma_right * std::norm(gcol[c]);
+    // Diagonal spectral sum rule: A_cc >= (A_R)_cc >= 0 up to roundoff.
+    GNRFET_ENSURE("negf", "spectral-sum-rule",
+                  std::isfinite(a_tot) &&
+                      a_tot - a_r >= -1e-9 * (1.0 + std::abs(a_tot) + a_r),
+                  strings::format("site %zu: A_tot = %g, A_R = %g at E = %g", c, a_tot, a_r,
+                                  energy_eV));
     r.spectral_right[c] = a_r;
     r.spectral_left[c] = std::max(0.0, a_tot - a_r);
   }
+#if GNRFET_CHECKS_ENABLED
+  // Independent drain-side solve: right-connected sweep, then the mirrored
+  // column G_{n-1,0}. In exact arithmetic G_{0,n-1} = G_{n-1,0} (the chain
+  // Hamiltonian is complex-symmetric), so the two transmissions agree; the
+  // mismatch is the per-energy source/drain current-continuity contract.
+  {
+    std::vector<cplx> gr(n);
+    gr[n - 1] = 1.0 / (e - chain.onsite[n - 1] - sig_r);
+    for (size_t c = n - 1; c-- > 0;) {
+      cplx a = e - chain.onsite[c];
+      if (c == 0) a -= sig_l;
+      const double v = chain.hopping[c];
+      a -= v * v * gr[c + 1];
+      gr[c] = 1.0 / a;
+    }
+    cplx grow = gr[0];  // G_{0,0} of the right-connected chain... accumulate G_{c,0}
+    for (size_t c = 1; c < n; ++c) grow = gr[c] * chain.hopping[c - 1] * grow;
+    r.transmission_reverse = chain.gamma_left * chain.gamma_right * std::norm(grow);
+    const double mismatch = std::abs(r.transmission - r.transmission_reverse);
+    GNRFET_ENSURE("negf", "reciprocal-transmission",
+                  mismatch <= 1e-6 * (r.transmission + r.transmission_reverse + 1e-9),
+                  strings::format("T_forward = %.12g vs T_reverse = %.12g at E = %g",
+                                  r.transmission, r.transmission_reverse, energy_eV));
+  }
+#endif
   return r;
 }
 

@@ -21,6 +21,13 @@ struct ScalarChain {
 
 struct ScalarRgfResult {
   double transmission = 0.0;
+  /// Transmission computed independently from the drain side (right-
+  /// connected sweep). Equal to `transmission` up to roundoff in the
+  /// ballistic limit; the contract layer uses the mismatch as the
+  /// source/drain current-continuity check. When contract checks are
+  /// compiled out (GNRFET_CHECKS=OFF) the extra sweep is skipped and this
+  /// aliases `transmission`.
+  double transmission_reverse = 0.0;
   std::vector<double> spectral_left;   ///< A_L,cc per site
   std::vector<double> spectral_right;  ///< A_R,cc per site
 };

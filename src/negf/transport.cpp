@@ -5,7 +5,9 @@
 #include <stdexcept>
 
 #include "common/constants.hpp"
+#include "common/contracts.hpp"
 #include "common/parallel.hpp"
+#include "common/strings.hpp"
 #include "gnr/hamiltonian.hpp"
 #include "negf/rgf.hpp"
 #include "negf/scalar_rgf.hpp"
@@ -54,6 +56,8 @@ TransportSolution solve_mode_space(const gnr::ModeSet& modes,
       throw std::invalid_argument("solve_mode_space: potential must be [columns][N]");
     }
   }
+  GNRFET_REQUIRE("negf", "finite-potential", contracts::all_finite(potential_eV),
+                 "mid-gap potential contains NaN/inf (diverged Poisson input?)");
 
   // Mode-averaged potential per column, and window bounds.
   std::vector<std::vector<double>> u_mode(modes.modes.size(), std::vector<double>(ncol, 0.0));
@@ -87,11 +91,13 @@ TransportSolution solve_mode_space(const gnr::ModeSet& modes,
   chain.gamma_left = opts.gamma_contact_eV;
   chain.gamma_right = opts.gamma_contact_eV;
 
-  double current_integral = 0.0;  // Integral T (f1 - f2) dE
+  double current_integral = 0.0;          // Integral T (f1 - f2) dE
+  double current_integral_reverse = 0.0;  // Same, from drain-side transmissions
 
   /// Per-chunk accumulator for one mode's slice of the energy grid.
   struct ModePartial {
     double current = 0.0;
+    double current_reverse = 0.0;
     std::vector<double> col_n, col_p;
   };
 
@@ -131,6 +137,7 @@ TransportSolution solve_mode_space(const gnr::ModeSet& modes,
             const double f1 = constants::fermi(e - opts.mu_source_eV, opts.kT_eV);
             const double f2 = constants::fermi(e - opts.mu_drain_eV, opts.kT_eV);
             part.current += w * m.degeneracy * r.transmission * (f1 - f2);
+            part.current_reverse += w * m.degeneracy * r.transmission_reverse * (f1 - f2);
             for (size_t c = 0; c < ncol; ++c) {
               const BipolarDensity d = bipolar_density(r.spectral_left[c], r.spectral_right[c],
                                                        e, u_mode[p][c], f1, f2);
@@ -142,12 +149,14 @@ TransportSolution solve_mode_space(const gnr::ModeSet& modes,
         },
         [](ModePartial& acc, ModePartial&& part) {
           acc.current += part.current;
+          acc.current_reverse += part.current_reverse;
           for (size_t c = 0; c < acc.col_n.size(); ++c) {
             acc.col_n[c] += part.col_n[c];
             acc.col_p[c] += part.col_p[c];
           }
         });
     current_integral += mode_sum.current;
+    current_integral_reverse += mode_sum.current_reverse;
 
     // Distribute the mode charge across dimer lines with the mode weights.
     for (size_t c = 0; c < ncol; ++c) {
@@ -159,11 +168,16 @@ TransportSolution solve_mode_space(const gnr::ModeSet& modes,
   }
 
   sol.current_A = constants::kCurrentPrefactor * current_integral;
+  sol.current_drain_A = constants::kCurrentPrefactor * current_integral_reverse;
   for (size_t c = 0; c < ncol; ++c) {
     for (size_t j = 0; j < nlines; ++j) {
       sol.total_net_electrons += sol.electrons[c][j] - sol.holes[c][j];
     }
   }
+  GNRFET_ENSURE("negf", "finite-current",
+                std::isfinite(sol.current_A) && std::isfinite(sol.total_net_electrons),
+                strings::format("current_A = %g, net electrons = %g", sol.current_A,
+                                sol.total_net_electrons));
   return sol;
 }
 
@@ -205,6 +219,8 @@ TransportSolution solve_real_space(const gnr::Lattice& lat,
   RealPartial init;
   init.n_atom.assign(natoms, 0.0);
   init.p_atom.assign(natoms, 0.0);
+  GNRFET_REQUIRE("negf", "finite-potential", contracts::all_finite(onsite_eV),
+                 "onsite energy array contains NaN/inf (diverged Poisson input?)");
   const RealPartial sum = par::parallel_reduce_ordered<RealPartial>(
       grid.points.size(), kEnergyGrain, std::move(init),
       [&](size_t begin, size_t end) {
@@ -243,6 +259,7 @@ TransportSolution solve_real_space(const gnr::Lattice& lat,
   const std::vector<double>& n_per_atom = sum.n_atom;
   const std::vector<double>& p_per_atom = sum.p_atom;
   sol.current_A = constants::kCurrentPrefactor * sum.current;
+  sol.current_drain_A = sol.current_A;  // block RGF has no independent drain-side solve
 
   // Resolve per (column, dimer line): each slice holds two columns; the
   // column of an atom follows from its x offset within the slice.

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
+#include "common/strings.hpp"
 #include "linalg/pcg.hpp"
 
 namespace gnrfet::poisson {
@@ -15,6 +17,10 @@ double clamped_exp(double x) { return std::exp(std::clamp(x, -30.0, 30.0)); }
 std::vector<double> solve_linear_poisson(const Assembly& assembly,
                                          const std::vector<double>& electrode_voltages,
                                          const std::vector<double>& rho_e) {
+  GNRFET_REQUIRE("poisson", "finite-charge", contracts::all_finite(rho_e),
+                 "charge density contains NaN/inf");
+  GNRFET_REQUIRE("poisson", "finite-boundary", contracts::all_finite(electrode_voltages),
+                 "electrode voltages contain NaN/inf");
   const std::vector<double> b = assembly.rhs(electrode_voltages, rho_e);
   std::vector<double> x(assembly.num_free(), 0.0);
   const auto res = linalg::pcg_solve(assembly.matrix(), b, x);
@@ -37,6 +43,14 @@ NonlinearResult solve_nonlinear_poisson(const Assembly& assembly,
       phi_init_full.size() != n_nodes) {
     throw std::invalid_argument("solve_nonlinear_poisson: field size mismatch");
   }
+  GNRFET_REQUIRE("poisson", "finite-charge",
+                 contracts::all_finite(n0_e) && contracts::all_finite(p0_e) &&
+                     contracts::all_finite(rho_fixed_e),
+                 "nodal charge populations contain NaN/inf (poisoned NEGF output?)");
+  GNRFET_REQUIRE("poisson", "finite-potential",
+                 contracts::all_finite(phi_ref_full) && contracts::all_finite(phi_init_full) &&
+                     contracts::all_finite(electrode_voltages),
+                 "reference/initial potential or electrode voltages contain NaN/inf");
   const double vt = opts.thermal_voltage_V;
 
   // Work on free nodes only.
@@ -56,6 +70,9 @@ NonlinearResult solve_nonlinear_poisson(const Assembly& assembly,
   // linear excursions still converge.
   double clamp = opts.max_step_V;
   int saturated_steps = 0;
+#if GNRFET_CHECKS_ENABLED
+  double f_min = 0.0;  // smallest residual norm seen so far
+#endif
 
   for (int it = 0; it < opts.max_newton_iterations; ++it) {
     // Residual F = A phi - b(V, q(phi)); b folds Dirichlet links + charge.
@@ -75,6 +92,21 @@ NonlinearResult solve_nonlinear_poisson(const Assembly& assembly,
       residual[f] = ax[f] - b_fixed[f] - q[f];
       f_norm = std::max(f_norm, std::abs(residual[f]));
     }
+    // The damped Newton residual must stay finite and must not run away
+    // from the best residual seen so far: growth beyond the slack factor
+    // means the linearization is diverging, and every later Gummel
+    // iteration would silently inherit the junk potential.
+    GNRFET_CHECK_FINITE("poisson", "finite-residual", f_norm);
+#if GNRFET_CHECKS_ENABLED
+    if (it == 0) {
+      f_min = f_norm;
+    } else {
+      GNRFET_REQUIRE("poisson", "residual-bounded", f_norm <= 1e4 * f_min + 1e-12,
+                     strings::format("Newton iteration %d: residual %g vs best %g", it, f_norm,
+                                     f_min));
+      f_min = std::min(f_min, f_norm);
+    }
+#endif
     // Newton system: (A - diag(dq/dphi)) delta = -F. The diagonal term is
     // added as a copy of the matrix (cheap: values only).
     linalg::SparseMatrix jac = assembly.matrix();

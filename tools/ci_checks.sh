@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# CI matrix for the GNRFET repo. Runs every gate the project defines:
+#
+#   werror    -Wall -Wextra -Werror build + full test suite + lint label
+#   asan-ubsan  AddressSanitizer + UndefinedBehaviorSanitizer test run
+#   tsan      ThreadSanitizer run of the parallel determinism suites
+#   checks-off  Release build with GNRFET_CHECKS=OFF (contracts compiled out):
+#               the tier-1 suite must still pass without the contract layer
+#   tidy      clang-tidy over all translation units (skipped when clang-tidy
+#             is not installed)
+#
+# Usage:
+#   tools/ci_checks.sh               # run the full matrix
+#   tools/ci_checks.sh werror tsan   # run selected stages
+#
+# Each stage configures its own build tree under build-ci-<stage> so stages
+# never contaminate each other's flags. Exits non-zero on the first failure.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+STAGES=("$@")
+if [ ${#STAGES[@]} -eq 0 ]; then
+  STAGES=(werror asan-ubsan tsan checks-off tidy)
+fi
+
+banner() { printf '\n=== ci_checks: %s ===\n' "$1"; }
+
+configure_and_build() {
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S "$ROOT" "$@" >"$dir.configure.log" 2>&1 ||
+    { cat "$dir.configure.log"; return 1; }
+  cmake --build "$dir" -j "$JOBS"
+}
+
+for stage in "${STAGES[@]}"; do
+  case "$stage" in
+    werror)
+      banner "warnings-as-errors build + full suite + lint"
+      configure_and_build "$ROOT/build-ci-werror" -DGNRFET_WERROR=ON
+      ctest --test-dir "$ROOT/build-ci-werror" -j "$JOBS" --output-on-failure
+      ctest --test-dir "$ROOT/build-ci-werror" -L lint --output-on-failure
+      ;;
+    asan-ubsan)
+      banner "address,undefined sanitizers"
+      configure_and_build "$ROOT/build-ci-asan" \
+        -DGNRFET_SANITIZE=address,undefined -DGNRFET_WERROR=ON
+      ctest --test-dir "$ROOT/build-ci-asan" -j "$JOBS" --output-on-failure
+      ;;
+    tsan)
+      banner "thread sanitizer on the parallel suites"
+      configure_and_build "$ROOT/build-ci-tsan" -DGNRFET_SANITIZE=thread
+      ctest --test-dir "$ROOT/build-ci-tsan" -R 'Parallel' -j "$JOBS" --output-on-failure
+      ;;
+    checks-off)
+      banner "Release with GNRFET_CHECKS=OFF (contracts compiled out)"
+      configure_and_build "$ROOT/build-ci-nochecks" \
+        -DGNRFET_CHECKS=OFF -DCMAKE_BUILD_TYPE=Release -DGNRFET_WERROR=ON
+      ctest --test-dir "$ROOT/build-ci-nochecks" -j "$JOBS" --output-on-failure
+      ;;
+    tidy)
+      if ! command -v clang-tidy >/dev/null 2>&1; then
+        banner "clang-tidy not installed; skipping tidy stage"
+        continue
+      fi
+      banner "clang-tidy"
+      configure_and_build "$ROOT/build-ci-tidy" -DGNRFET_CLANG_TIDY=ON
+      ;;
+    *)
+      echo "ci_checks: unknown stage '$stage'" >&2
+      echo "known stages: werror asan-ubsan tsan checks-off tidy" >&2
+      exit 2
+      ;;
+  esac
+done
+
+banner "all requested stages passed"

@@ -1,0 +1,237 @@
+// Repo-specific lint for the GNRFET codebase. Scans src/, tests/, bench/
+// and tools/ for project-rule violations that generic compilers and
+// clang-tidy don't enforce:
+//
+//   no-rand                 src/ libraries must not call rand()/srand()
+//                           (the Monte Carlo layer is seeded <random> only,
+//                           for thread-count-invariant reproducibility)
+//   no-stdio                src/ libraries must not print (printf/std::cout):
+//                           all user-facing output belongs to tools/bench
+//   using-namespace-header  headers must not inject namespaces into every
+//                           includer
+//   pragma-once             every header carries #pragma once
+//   raw-new-delete          no raw new/delete outside src/common/ (owning
+//                           code uses containers and smart pointers)
+//   unchecked-getenv        std::getenv only via common/env.hpp helpers
+//                           (null/empty/parse handling in one place)
+//
+// Comments and string literals are stripped before matching, so rule names
+// in documentation (or in this file) do not trip the rules themselves.
+// Usage: gnrfet_lint [repo_root]   (exit 0 = clean, 1 = violations)
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation {
+  std::string file;
+  size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Blank out comments and string/char literals, preserving newlines so
+/// line numbers survive. Handles //, /* */, "..." and '...' with escapes.
+std::string strip_comments_and_strings(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State st = State::kCode;
+  for (size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (st) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          st = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          st = State::kString;
+          out += ' ';
+        } else if (c == '\'') {
+          st = State::kChar;
+          out += ' ';
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          st = State::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          st = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += (c == '\n') ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if ((st == State::kString && c == '"') || (st == State::kChar && c == '\'')) {
+          st = State::kCode;
+          out += ' ';
+        } else {
+          out += (c == '\n') ? '\n' : ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// Position of `token` in `line` as a whole identifier (not a substring of
+/// a longer identifier), or npos.
+size_t find_token(const std::string& line, const std::string& token, size_t from = 0) {
+  size_t pos = line.find(token, from);
+  while (pos != std::string::npos) {
+    const bool left_ok = pos == 0 || !ident_char(line[pos - 1]);
+    const size_t end = pos + token.size();
+    const bool right_ok = end >= line.size() || !ident_char(line[end]);
+    if (left_ok && right_ok) return pos;
+    pos = line.find(token, pos + 1);
+  }
+  return std::string::npos;
+}
+
+/// `token` occurs as an identifier and the next non-space character is '('.
+bool has_call(const std::string& line, const std::string& token) {
+  size_t pos = find_token(line, token);
+  while (pos != std::string::npos) {
+    size_t i = pos + token.size();
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i < line.size() && line[i] == '(') return true;
+    pos = find_token(line, token, pos + 1);
+  }
+  return false;
+}
+
+/// `delete` used as an operator (raw deallocation) rather than `= delete`.
+bool has_raw_delete(const std::string& line) {
+  size_t pos = find_token(line, "delete");
+  while (pos != std::string::npos) {
+    size_t i = pos;
+    while (i > 0 && line[i - 1] == ' ') --i;
+    if (i == 0 || line[i - 1] != '=') return true;
+    pos = find_token(line, "delete", pos + 1);
+  }
+  return false;
+}
+
+struct FileReport {
+  std::vector<Violation> violations;
+};
+
+void scan_file(const fs::path& path, const std::string& display, bool in_src, bool in_common,
+               std::vector<Violation>& out) {
+  std::ifstream f(path, std::ios::binary);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string raw = ss.str();
+  const std::string stripped = strip_comments_and_strings(raw);
+  const bool is_header = path.extension() == ".hpp";
+
+  if (is_header && raw.find("#pragma once") == std::string::npos) {
+    out.push_back({display, 1, "pragma-once", "header is missing #pragma once"});
+  }
+
+  std::istringstream lines(stripped);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    if (in_src) {
+      if (has_call(line, "rand") || has_call(line, "srand")) {
+        out.push_back({display, lineno, "no-rand",
+                       "rand()/srand() in a library: use seeded <random> engines"});
+      }
+      if (has_call(line, "printf") || find_token(line, "cout") != std::string::npos) {
+        out.push_back({display, lineno, "no-stdio",
+                       "library code must not print; return data to the caller"});
+      }
+    }
+    if (is_header && find_token(line, "using") != std::string::npos) {
+      const size_t u = find_token(line, "using");
+      const size_t n = find_token(line, "namespace", u);
+      if (n != std::string::npos && line.find_first_not_of(' ', u + 5) == n) {
+        out.push_back({display, lineno, "using-namespace-header",
+                       "headers must not inject namespaces into every includer"});
+      }
+    }
+    if (!in_common) {
+      if (find_token(line, "new") != std::string::npos) {
+        // Raw `new` is an expression: `new T(...)`. Exclude identifiers via
+        // the token check; anything left in code context is a violation.
+        out.push_back({display, lineno, "raw-new-delete",
+                       "raw new outside src/common/: use containers/smart pointers"});
+      }
+      if (has_raw_delete(line)) {
+        out.push_back({display, lineno, "raw-new-delete",
+                       "raw delete outside src/common/: use containers/smart pointers"});
+      }
+      if (find_token(line, "getenv") != std::string::npos) {
+        out.push_back({display, lineno, "unchecked-getenv",
+                       "use the checked helpers in common/env.hpp instead of std::getenv"});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const fs::path root = argc > 1 ? fs::path(argv[1]) : fs::path(".");
+  const std::vector<std::string> scan_dirs = {"src", "tests", "bench", "tools"};
+
+  std::vector<Violation> violations;
+  size_t files = 0;
+  for (const auto& dirname : scan_dirs) {
+    const fs::path dir = root / dirname;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const fs::path& p = entry.path();
+      if (p.extension() != ".cpp" && p.extension() != ".hpp") continue;
+      const std::string display = fs::relative(p, root).generic_string();
+      const bool in_src = dirname == "src";
+      const bool in_common = display.rfind("src/common/", 0) == 0;
+      ++files;
+      scan_file(p, display, in_src, in_common, violations);
+    }
+  }
+
+  for (const auto& v : violations) {
+    std::cout << v.file << ":" << v.line << ": [" << v.rule << "] " << v.message << "\n";
+  }
+  if (violations.empty()) {
+    std::cout << "gnrfet_lint: " << files << " files clean\n";
+    return 0;
+  }
+  std::cout << "gnrfet_lint: " << violations.size() << " violation(s) in " << files
+            << " files\n";
+  return 1;
+}
