@@ -6,6 +6,7 @@
 
 #include "common/env.hpp"
 #include "common/parallel.hpp"
+#include "common/trace.hpp"
 
 namespace gnrfet::bench {
 
@@ -27,14 +28,17 @@ void banner(const std::string& title) {
 int env_int(const char* name, int fallback) { return common::env_int(name, fallback); }
 
 PhaseTimer::PhaseTimer(std::string bench, std::string phase)
-    : bench_(std::move(bench)), phase_(std::move(phase)),
-      start_(std::chrono::steady_clock::now()) {}
+    : bench_(std::move(bench)), phase_(std::move(phase)), start_us_(trace::now_us()) {}
 
 PhaseTimer::~PhaseTimer() { stop(); }
 
 double PhaseTimer::stop() {
   if (seconds_ >= 0.0) return seconds_;
-  seconds_ = std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  // Phase rows and trace spans share the trace clock, so a
+  // perf_timings.csv row can be matched against the spans it encloses.
+  const double end_us = trace::now_us();
+  seconds_ = (end_us - start_us_) * 1e-6;
+  trace::emit_complete("bench", bench_ + "/" + phase_, start_us_, end_us - start_us_);
   std::filesystem::create_directories("bench_out");
   const std::string path = "bench_out/perf_timings.csv";
   const bool fresh = !std::filesystem::exists(path);

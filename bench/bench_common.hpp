@@ -1,6 +1,5 @@
 #pragma once
 
-#include <chrono>
 #include <string>
 
 #include "common/csv.hpp"
@@ -26,7 +25,10 @@ int env_int(const char* name, int fallback);
 /// Wall-clock timer for one named bench phase. On stop (or destruction)
 /// it prints the elapsed time and appends a
 /// `{bench, phase, seconds, threads}` row to bench_out/perf_timings.csv,
-/// so speedups stay measurable across PRs and thread counts.
+/// so speedups stay measurable across PRs and thread counts. Runs on the
+/// trace clock (common/trace.hpp): with GNRFET_TRACE set, every phase
+/// also lands in the trace as a `bench` span aligned with the solver
+/// spans it encloses.
 class PhaseTimer {
  public:
   PhaseTimer(std::string bench, std::string phase);
@@ -37,7 +39,7 @@ class PhaseTimer {
 
  private:
   std::string bench_, phase_;
-  std::chrono::steady_clock::time_point start_;
+  double start_us_ = 0.0;
   double seconds_ = -1.0;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "linalg/lu.hpp"
 
 namespace gnrfet::circuit {
@@ -33,6 +35,7 @@ bool newton(const Circuit& ckt, std::vector<double>& x, double source_scale,
     for (size_t i = 0; i < n; ++i) rhs[i] = -res[i];
     std::vector<double> dx;
     try {
+      metrics::add(metrics::Counter::kMnaFactorizations);
       dx = linalg::LUReal(jac).solve(rhs);
     } catch (const std::exception&) {
       return false;
@@ -53,6 +56,7 @@ bool newton(const Circuit& ckt, std::vector<double>& x, double source_scale,
 
 DcResult solve_dc(const Circuit& ckt, const std::vector<double>& initial,
                   const DcOptions& opts) {
+  trace::Span span("circuit", "solve_dc");
   DcResult result;
   result.x.assign(ckt.num_unknowns(), 0.0);
   if (initial.size() == result.x.size()) result.x = initial;

@@ -5,7 +5,9 @@
 #include <stdexcept>
 
 #include "common/contracts.hpp"
+#include "common/metrics.hpp"
 #include "common/strings.hpp"
+#include "common/trace.hpp"
 #include "linalg/lu.hpp"
 
 namespace gnrfet::circuit {
@@ -26,6 +28,7 @@ std::vector<double> Waveforms::branch(const Circuit& ckt, size_t branch_index) c
 }
 
 TransientResult run_transient(const Circuit& ckt, const TransientOptions& opts) {
+  trace::Span span("circuit", "run_transient");
   GNRFET_REQUIRE("circuit", "positive-timestep", opts.dt > 0.0 && std::isfinite(opts.dt),
                  strings::format("dt = %g must be finite and > 0", opts.dt));
   GNRFET_REQUIRE("circuit", "finite-horizon",
@@ -79,6 +82,7 @@ TransientResult run_transient(const Circuit& ckt, const TransientOptions& opts) 
       for (size_t i = 0; i + ckt.num_branches() < n; ++i) jac(i, i) += 1e-12;
       std::vector<double> rhs(n);
       for (size_t i = 0; i < n; ++i) rhs[i] = -res[i];
+      metrics::add(metrics::Counter::kMnaFactorizations);
       const std::vector<double> dx = linalg::LUReal(jac).solve(rhs);
       double max_dx = 0.0;
       for (size_t i = 0; i < n; ++i) {
@@ -102,6 +106,7 @@ TransientResult run_transient(const Circuit& ckt, const TransientOptions& opts) 
       for (const auto& e : ckt.elements()) e->stamp(st, ctx);
     }
     state.swap(state_next);
+    metrics::add(metrics::Counter::kTransientSteps);
     result.waves.time.push_back(t);
     result.waves.samples.push_back(x);
   }

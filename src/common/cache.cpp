@@ -1,20 +1,20 @@
 #include "common/cache.hpp"
 
 #include <filesystem>
+#include <mutex>
 
 #include "common/env.hpp"
 #include "common/strings.hpp"
 
 namespace gnrfet::cache {
 
-std::string directory() {
+namespace {
+
+/// Locate (and create) the default cache directory: walk up from the
+/// current directory looking for the repository root (identified by
+/// DESIGN.md); fall back to ./data/cache.
+std::string resolve_default_directory() {
   namespace fs = std::filesystem;
-  if (const std::string env = common::env_or("GNRFET_CACHE_DIR", ""); !env.empty()) {
-    fs::create_directories(env);
-    return env;
-  }
-  // Walk up from the current directory looking for the repository root
-  // (identified by DESIGN.md); fall back to ./data/cache.
   fs::path dir = fs::current_path();
   for (int depth = 0; depth < 6; ++depth) {
     if (fs::exists(dir / "DESIGN.md") && fs::exists(dir / "src")) {
@@ -28,6 +28,28 @@ std::string directory() {
   const fs::path cache = fs::current_path() / "data" / "cache";
   fs::create_directories(cache);
   return cache.string();
+}
+
+}  // namespace
+
+std::string directory() {
+  // The GNRFET_CACHE_DIR override stays live (re-read every call, so tests
+  // can repoint it), but each distinct value only walks the filesystem /
+  // creates directories once.
+  if (const std::string env = common::env_or("GNRFET_CACHE_DIR", ""); !env.empty()) {
+    static std::mutex mu;
+    static std::string created_for;
+    std::lock_guard<std::mutex> lk(mu);
+    if (env != created_for) {
+      std::filesystem::create_directories(env);
+      created_for = env;
+    }
+    return env;
+  }
+  // No override: resolve and create exactly once, thread-safely, instead
+  // of re-walking the tree on every path_for() call.
+  static const std::string resolved = resolve_default_directory();
+  return resolved;
 }
 
 std::string path_for(const std::string& name, const std::string& config_payload) {

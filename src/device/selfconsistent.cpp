@@ -3,7 +3,9 @@
 #include <cmath>
 
 #include "common/contracts.hpp"
+#include "common/metrics.hpp"
 #include "common/strings.hpp"
+#include "common/trace.hpp"
 #include "poisson/nonlinear.hpp"
 
 namespace gnrfet::device {
@@ -14,6 +16,7 @@ SelfConsistentSolver::SelfConsistentSolver(const DeviceGeometry& geometry,
 
 DeviceSolution SelfConsistentSolver::solve(const BiasPoint& bias,
                                            const DeviceSolution* warm_start) const {
+  trace::Span span("device", "solve_bias_point");
   GNRFET_REQUIRE("device", "finite-bias", std::isfinite(bias.vg) && std::isfinite(bias.vd),
                  strings::format("bias point (vg = %g, vd = %g) contains NaN/inf", bias.vg,
                                  bias.vd));
@@ -26,9 +29,15 @@ DeviceSolution SelfConsistentSolver::solve(const BiasPoint& bias,
   const std::vector<double> volts = geo_.electrode_voltages(0.0, bias.vd, bias.vg);
 
   // Initial potential: warm start or the charge-free (Laplace + impurity)
-  // solution.
+  // solution. A warm start whose potential was solved on a different grid
+  // is a caller bug (e.g. mixing solutions across geometries) — reject it
+  // instead of silently discarding it and paying the cold-start cost.
   std::vector<double> phi;
-  if (warm_start && warm_start->phi_full.size() == grid.num_nodes()) {
+  if (warm_start) {
+    GNRFET_REQUIRE("device", "warm-start-grid-match",
+                   warm_start->phi_full.size() == grid.num_nodes(),
+                   strings::format("warm_start->phi_full has %zu nodes, grid has %zu",
+                                   warm_start->phi_full.size(), grid.num_nodes()));
     phi = warm_start->phi_full;
   } else {
     phi = poisson::solve_linear_poisson(geo_.assembly(), volts, geo_.impurity_charge());
@@ -96,6 +105,9 @@ DeviceSolution SelfConsistentSolver::solve(const BiasPoint& bias,
       break;
     }
   }
+  metrics::add(metrics::Counter::kGummelIterations, static_cast<uint64_t>(sol.iterations));
+  metrics::observe(metrics::Histogram::kGummelIterationsPerBias,
+                   static_cast<double>(sol.iterations));
 
   // Final transport pass on the converged potential.
   for (size_t c = 0; c < ncol; ++c) {

@@ -2,15 +2,19 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <filesystem>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "common/cache.hpp"
 #include "common/constants.hpp"
 #include "common/contracts.hpp"
 #include "common/csv.hpp"
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/trace.hpp"
 #include "device/sweeps.hpp"
 #include "gnr/bandstructure.hpp"
 
@@ -28,6 +32,7 @@ std::string table_cache_payload(const DeviceSpec& spec, const TableGenOptions& o
 }
 
 void save_table(const DeviceTable& table, const std::string& path, const std::string& key) {
+  trace::Span span("device", "save_table");
   csv::Table t({"vg", "vd", "current_A", "charge_C"});
   t.set_meta("key", key);
   t.set_meta("band_gap_eV", std::to_string(table.band_gap_eV));
@@ -40,13 +45,21 @@ void save_table(const DeviceTable& table, const std::string& path, const std::st
   }
   // Write-to-temp + atomic rename: concurrent benches sharing data/cache
   // (or a crash mid-write) can never leave a torn CSV at the final path.
-  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  // The suffix carries pid + thread id + a process-wide counter: two
+  // threads of one process racing on the same cache path must not share a
+  // temp file, or one renames the other's half-written table into place.
+  static std::atomic<uint64_t> tmp_counter{0};
+  std::ostringstream suffix;
+  suffix << ::getpid() << "." << std::this_thread::get_id() << "."
+         << tmp_counter.fetch_add(1, std::memory_order_relaxed);
+  const std::string tmp = path + ".tmp." + suffix.str();
   t.save(tmp);
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
+    const std::string reason = ec.message();
     std::filesystem::remove(tmp, ec);
-    throw std::runtime_error("save_table: cannot rename into place: " + path);
+    throw std::runtime_error("save_table: cannot rename into place: " + path + ": " + reason);
   }
 }
 
@@ -94,6 +107,7 @@ size_t require_size_meta(const csv::Table& t, const std::string& key, const std:
 }  // namespace
 
 DeviceTable load_table(const std::string& path) {
+  trace::Span span("device", "load_table");
   const csv::Table t = csv::Table::load(path);
   DeviceTable table;
   table.band_gap_eV = std::stod(t.meta("band_gap_eV", "0"));
@@ -122,11 +136,14 @@ DeviceTable load_table(const std::string& path) {
 }
 
 DeviceTable generate_device_table(const DeviceSpec& spec, const TableGenOptions& opts) {
+  trace::Span span("device", "generate_device_table");
   const std::string payload = table_cache_payload(spec, opts);
   const std::string path = cache::path_for("device-table", payload);
   if (opts.use_cache && cache::exists(path)) {
+    metrics::add(metrics::Counter::kTableCacheHits);
     return load_table(path);
   }
+  if (opts.use_cache) metrics::add(metrics::Counter::kTableCacheMisses);
 
   const DeviceGeometry geometry(spec);
   const SelfConsistentSolver solver(geometry, opts.solve);

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/trace.hpp"
+
 namespace gnrfet::explore {
 
 namespace {
@@ -13,6 +15,7 @@ double frac(double a, double b, double level) { return (level - a) / (b - a); }
 std::vector<Segment> contour_segments(const std::vector<double>& xs,
                                       const std::vector<double>& ys,
                                       const std::vector<double>& field, double level) {
+  trace::Span span("explore", "contour_segments");
   if (field.size() != xs.size() * ys.size()) {
     throw std::invalid_argument("contour_segments: field size mismatch");
   }

@@ -6,6 +6,7 @@
 #include "common/contracts.hpp"
 #include "common/parallel.hpp"
 #include "common/strings.hpp"
+#include "common/trace.hpp"
 
 namespace gnrfet::explore {
 
@@ -18,6 +19,7 @@ int DiscretizedNormal::draw(std::mt19937& rng) const {
 }
 
 MonteCarloResult run_ring_monte_carlo(DesignKit& kit, const MonteCarloOptions& opts) {
+  trace::Span span("explore", "run_ring_monte_carlo");
   MonteCarloResult result;
   const DiscretizedNormal dist;
 
@@ -44,6 +46,7 @@ MonteCarloResult run_ring_monte_carlo(DesignKit& kit, const MonteCarloOptions& o
   const size_t nsamples = opts.samples > 0 ? static_cast<size_t>(opts.samples) : 0;
   result.samples.assign(nsamples, MonteCarloSample{});
   par::parallel_for(nsamples, [&](size_t s) {
+    trace::Span sample_span("explore", "mc_sample");
     std::seed_seq seq{opts.seed, static_cast<unsigned>(s)};
     std::mt19937 rng(seq);
     std::vector<circuit::InverterModels> stages;

@@ -5,6 +5,7 @@
 
 #include "circuit/snm.hpp"
 #include "common/parallel.hpp"
+#include "common/trace.hpp"
 #include "device/sweeps.hpp"
 
 namespace gnrfet::explore {
@@ -26,6 +27,7 @@ const device::DeviceTable& DesignKit::table(const VariantSpec& v) {
   std::lock_guard<std::recursive_mutex> lk(mu_);
   const auto it = tables_.find(v);
   if (it != tables_.end()) return it->second;
+  trace::Span span("explore", "design_kit_table");
   device::DeviceSpec spec;
   spec.n_index = v.n_index;
   if (v.impurity_q != 0.0) spec.impurities.push_back({v.impurity_q, 1.0, 0.0, 0.4});
@@ -97,6 +99,7 @@ circuit::InverterModels DesignKit::inverter_with_variants(const VariantSpec& n_v
 std::vector<ExplorePoint> explore_plane(DesignKit& kit, const std::vector<double>& vt_values,
                                         const std::vector<double>& vdd_values,
                                         const ExploreOptions& opts) {
+  trace::Span span("explore", "explore_plane");
   // Generate the shared nominal table (and vt0) before fanning out so the
   // parallel points only do circuit work under the kit's cache locks.
   kit.vt0();
@@ -106,6 +109,7 @@ std::vector<ExplorePoint> explore_plane(DesignKit& kit, const std::vector<double
   // evaluation writing its own slot; layout matches the serial vdd-major
   // walk, so the result is identical for any thread count.
   par::parallel_for(grid.size(), [&](size_t k) {
+    trace::Span point_span("explore", "explore_point");
     const double vdd = vdd_values[k / nvt];
     const double vt = vt_values[k % nvt];
     ExplorePoint p;

@@ -4,19 +4,34 @@
 #include <stdexcept>
 
 #include "common/contracts.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 
 namespace gnrfet::linalg {
 
 namespace {
+
 double dot(const std::vector<double>& a, const std::vector<double>& b) {
   double s = 0.0;
   for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
   return s;
 }
+
+/// Records the final iteration count once, on every exit path.
+struct IterationRecorder {
+  const PcgResult& result;
+  ~IterationRecorder() {
+    metrics::add(metrics::Counter::kPcgIterations, static_cast<uint64_t>(result.iterations));
+    metrics::observe(metrics::Histogram::kPcgIterationsPerSolve,
+                     static_cast<double>(result.iterations));
+  }
+};
+
 }  // namespace
 
 PcgResult pcg_solve(const SparseMatrix& a, const std::vector<double>& b,
                     std::vector<double>& x, const PcgOptions& opts) {
+  trace::Span span("linalg", "pcg_solve");
   const size_t n = a.dim();
   if (b.size() != n) throw std::invalid_argument("pcg_solve: rhs size mismatch");
   if (x.size() != n) x.assign(n, 0.0);
@@ -34,6 +49,7 @@ PcgResult pcg_solve(const SparseMatrix& a, const std::vector<double>& b,
   double rz = dot(r, z);
 
   PcgResult result;
+  const IterationRecorder recorder{result};
   for (size_t it = 0; it < opts.max_iterations; ++it) {
     const double r_norm = std::sqrt(dot(r, r));
     result.residual_norm = r_norm;

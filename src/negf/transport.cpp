@@ -6,8 +6,10 @@
 
 #include "common/constants.hpp"
 #include "common/contracts.hpp"
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "common/strings.hpp"
+#include "common/trace.hpp"
 #include "gnr/hamiltonian.hpp"
 #include "negf/rgf.hpp"
 #include "negf/scalar_rgf.hpp"
@@ -48,6 +50,7 @@ BipolarDensity bipolar_density(double a_l, double a_r, double energy, double u, 
 TransportSolution solve_mode_space(const gnr::ModeSet& modes,
                                    const std::vector<std::vector<double>>& potential_eV,
                                    const TransportOptions& opts) {
+  trace::Span span("negf", "solve_mode_space");
   const size_t ncol = potential_eV.size();
   const size_t nlines = static_cast<size_t>(modes.n_index);
   if (ncol < 4) throw std::invalid_argument("solve_mode_space: need >= 4 columns");
@@ -77,6 +80,9 @@ TransportSolution solve_mode_space(const gnr::ModeSet& modes,
   const EnergyWindow win = charge_window(u_min, u_max, opts.mu_source_eV, opts.mu_drain_eV,
                                          opts.kT_eV, band_top);
   const EnergyGrid grid = make_energy_grid(win.lo, win.hi, opts.energy_step_eV);
+  metrics::add(metrics::Counter::kNegfEnergyPoints, grid.points.size());
+  metrics::observe(metrics::Histogram::kEnergyPointsPerTransport,
+                   static_cast<double>(grid.points.size()));
 
   TransportSolution sol;
   sol.energies_eV = grid.points;
@@ -123,6 +129,7 @@ TransportSolution solve_mode_space(const gnr::ModeSet& modes,
           ModePartial part;
           part.col_n.assign(ncol, 0.0);
           part.col_p.assign(ncol, 0.0);
+          uint64_t rgf_solves = 0;
           for (size_t ie = begin; ie < end; ++ie) {
             const double e = grid.points[ie];
             const double w = grid.weights[ie];
@@ -133,6 +140,7 @@ TransportSolution solve_mode_space(const gnr::ModeSet& modes,
               continue;
             }
             const ScalarRgfResult r = scalar_rgf_solve(chain, e, opts.eta_eV);
+            ++rgf_solves;
             sol.transmission[ie] += m.degeneracy * r.transmission;
             const double f1 = constants::fermi(e - opts.mu_source_eV, opts.kT_eV);
             const double f2 = constants::fermi(e - opts.mu_drain_eV, opts.kT_eV);
@@ -145,6 +153,9 @@ TransportSolution solve_mode_space(const gnr::ModeSet& modes,
               part.col_p[c] += w * m.degeneracy * d.holes;
             }
           }
+          // One counter add per chunk, not per energy: metrics stay off
+          // the innermost loop.
+          metrics::add(metrics::Counter::kRgfSolves, rgf_solves);
           return part;
         },
         [](ModePartial& acc, ModePartial&& part) {
@@ -185,6 +196,7 @@ TransportSolution solve_real_space(const gnr::Lattice& lat,
                                    const gnr::TightBindingParams& params,
                                    const std::vector<double>& onsite_eV,
                                    const TransportOptions& opts) {
+  trace::Span span("negf", "solve_real_space");
   const gnr::BlockTridiagonal h = build_hamiltonian(lat, params, onsite_eV);
   const size_t nb = h.num_blocks();
   const auto& slices = lat.slice_atoms();
@@ -198,6 +210,9 @@ TransportSolution solve_real_space(const gnr::Lattice& lat,
   const EnergyWindow win = charge_window(u_min, u_max, opts.mu_source_eV, opts.mu_drain_eV,
                                          opts.kT_eV, band_top);
   const EnergyGrid grid = make_energy_grid(win.lo, win.hi, opts.energy_step_eV);
+  metrics::add(metrics::Counter::kNegfEnergyPoints, grid.points.size());
+  metrics::observe(metrics::Histogram::kEnergyPointsPerTransport,
+                   static_cast<double>(grid.points.size()));
 
   const linalg::CMatrix sig_l = wide_band_self_energy(h.diag.front().rows(), opts.gamma_contact_eV);
   const linalg::CMatrix sig_r = wide_band_self_energy(h.diag.back().rows(), opts.gamma_contact_eV);
@@ -247,6 +262,7 @@ TransportSolution solve_real_space(const gnr::Lattice& lat,
             }
           }
         }
+        metrics::add(metrics::Counter::kRgfSolves, static_cast<uint64_t>(end - begin));
         return part;
       },
       [](RealPartial& acc, RealPartial&& part) {

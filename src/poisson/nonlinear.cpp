@@ -5,7 +5,9 @@
 #include <stdexcept>
 
 #include "common/contracts.hpp"
+#include "common/metrics.hpp"
 #include "common/strings.hpp"
+#include "common/trace.hpp"
 #include "linalg/pcg.hpp"
 
 namespace gnrfet::poisson {
@@ -17,6 +19,7 @@ double clamped_exp(double x) { return std::exp(std::clamp(x, -30.0, 30.0)); }
 std::vector<double> solve_linear_poisson(const Assembly& assembly,
                                          const std::vector<double>& electrode_voltages,
                                          const std::vector<double>& rho_e) {
+  trace::Span span("poisson", "solve_linear_poisson");
   GNRFET_REQUIRE("poisson", "finite-charge", contracts::all_finite(rho_e),
                  "charge density contains NaN/inf");
   GNRFET_REQUIRE("poisson", "finite-boundary", contracts::all_finite(electrode_voltages),
@@ -38,6 +41,7 @@ NonlinearResult solve_nonlinear_poisson(const Assembly& assembly,
                                         const std::vector<double>& phi_ref_full,
                                         const std::vector<double>& phi_init_full,
                                         const NonlinearOptions& opts) {
+  trace::Span span("poisson", "solve_nonlinear_poisson");
   const size_t n_nodes = phi_ref_full.size();
   if (n0_e.size() != n_nodes || p0_e.size() != n_nodes || rho_fixed_e.size() != n_nodes ||
       phi_init_full.size() != n_nodes) {
@@ -144,6 +148,10 @@ NonlinearResult solve_nonlinear_poisson(const Assembly& assembly,
       break;
     }
   }
+  metrics::add(metrics::Counter::kPoissonNewtonIterations,
+               static_cast<uint64_t>(result.iterations));
+  metrics::observe(metrics::Histogram::kNewtonIterationsPerSolve,
+                   static_cast<double>(result.iterations));
   result.phi_full = assembly.expand(phi, electrode_voltages);
   return result;
 }

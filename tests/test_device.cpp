@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/contracts.hpp"
 #include "device/geometry.hpp"
 #include "device/selfconsistent.hpp"
 #include "device/sweeps.hpp"
@@ -101,6 +102,27 @@ TEST(SelfConsistent, WarmStartReducesIterations) {
   const DeviceSolution warm = solver.solve({0.45, 0.4}, &cold);
   EXPECT_LT(warm.iterations, cold.iterations);
 }
+
+#if GNRFET_CHECKS_ENABLED
+TEST(SelfConsistent, WarmStartGridMismatchIsContractViolation) {
+  // A warm start from a solution on a different grid used to be copied in
+  // silently and crash (or worse, converge to garbage) deep inside the
+  // Gummel loop; it must be rejected at the boundary with both sizes named.
+  const DeviceGeometry geo(tiny_spec());
+  const SelfConsistentSolver solver(geo, fast_opts());
+  DeviceSolution wrong;
+  wrong.converged = true;
+  wrong.phi_full.assign(17, 0.0);  // not this geometry's node count
+  try {
+    solver.solve({0.4, 0.4}, &wrong);
+    FAIL() << "expected a ContractViolation for mismatched warm-start grid";
+  } catch (const contracts::ContractViolation& v) {
+    const std::string what = v.what();
+    EXPECT_NE(what.find("warm-start-grid-match"), std::string::npos) << what;
+    EXPECT_NE(what.find("17"), std::string::npos) << what;
+  }
+}
+#endif
 
 TEST(SelfConsistent, BandProfilePinnedAtContacts) {
   const DeviceGeometry geo(tiny_spec());

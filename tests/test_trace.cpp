@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cache.hpp"
+#include "common/metrics.hpp"
+#include "common/parallel.hpp"
+#include "common/trace.hpp"
+#include "device/tablegen.hpp"
+
+namespace {
+
+using namespace gnrfet;
+
+/// Scoped thread-count override restoring the previous value on exit.
+struct ThreadCountGuard {
+  explicit ThreadCountGuard(int n) : old_(par::thread_count()) { par::set_thread_count(n); }
+  ~ThreadCountGuard() { par::set_thread_count(old_); }
+  int old_;
+};
+
+/// Scoped trace configuration: clears recorded events, points the trace at
+/// `path` (default: enabled with a sink path that is never flushed), and
+/// restores the previous configuration + empty buffers on exit.
+struct TraceGuard {
+  explicit TraceGuard(const std::string& path = "unused-trace-sink.json")
+      : old_path_(trace::output_path()) {
+    trace::clear();
+    trace::set_output_path(path);
+  }
+  ~TraceGuard() {
+    trace::clear();
+    trace::set_output_path(old_path_);
+  }
+  std::string old_path_;
+};
+
+/// Minimal structural JSON check: every brace/bracket balanced, quotes
+/// paired, no trailing garbage. Good enough to catch emitter typos; the
+/// full parse is exercised by gnrfet_trace_report in CI.
+bool json_balanced(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': stack.push_back('}'); break;
+      case '[': stack.push_back(']'); break;
+      case '}':
+      case ']':
+        if (stack.empty() || stack.back() != c) return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return stack.empty() && !in_string;
+}
+
+TEST(Trace, DisabledSpansRecordNothing) {
+  TraceGuard guard("");  // disabled
+  ASSERT_FALSE(trace::enabled());
+  const size_t before = trace::event_count();
+  {
+    trace::Span outer("test", "outer");
+    trace::Span inner("test", "inner");
+  }
+  trace::emit_complete("test", "dynamic", 0.0, 1.0);
+  EXPECT_EQ(trace::event_count(), before);
+}
+
+TEST(Trace, EnableDisableRoundTrip) {
+  TraceGuard guard("");
+  EXPECT_FALSE(trace::enabled());
+  EXPECT_EQ(trace::output_path(), "");
+  trace::set_output_path("somewhere.json");
+  EXPECT_TRUE(trace::enabled());
+  EXPECT_EQ(trace::output_path(), "somewhere.json");
+  trace::set_output_path("");
+  EXPECT_FALSE(trace::enabled());
+}
+
+TEST(Trace, SpansNestOnOneThread) {
+  TraceGuard guard;
+  {
+    trace::Span outer("test", "outer");
+    { trace::Span inner("test", "inner"); }
+  }
+  const auto events = trace::snapshot_events();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans are recorded at destruction: inner first.
+  const auto& inner = events[0];
+  const auto& outer = events[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(inner.tid, outer.tid);
+  // Containment: inner's [ts, ts+dur] lies within outer's.
+  EXPECT_GE(inner.ts_us, outer.ts_us);
+  EXPECT_LE(inner.ts_us + inner.dur_us, outer.ts_us + outer.dur_us + 1e-6);
+}
+
+TEST(TraceParallel, EventsMergeAcrossPoolThreads) {
+  TraceGuard guard;
+  ThreadCountGuard threads(4);
+  const size_t n = 64;
+  std::mutex mu;
+  std::set<std::thread::id> os_threads;
+  par::parallel_for(n, [&](size_t) {
+    trace::Span span("test", "item");
+    const std::lock_guard<std::mutex> lk(mu);
+    os_threads.insert(std::this_thread::get_id());
+  });
+  EXPECT_EQ(trace::event_count(), n);
+  const auto events = trace::snapshot_events();
+  ASSERT_EQ(events.size(), n);
+  std::set<uint32_t> tids;
+  for (const auto& e : events) {
+    EXPECT_EQ(e.category, "test");
+    EXPECT_EQ(e.name, "item");
+    EXPECT_GE(e.dur_us, 0.0);
+    tids.insert(e.tid);
+  }
+  // Per-thread attribution survives the merge: one trace tid per OS
+  // thread that actually ran items (how many run is scheduling-dependent).
+  EXPECT_EQ(tids.size(), os_threads.size());
+}
+
+TEST(Trace, JsonOutputIsWellFormed) {
+  TraceGuard guard;
+  metrics::reset();
+  {
+    trace::Span span("negf", "unit_test_span");
+  }
+  metrics::add(metrics::Counter::kRgfSolves, 7);
+  metrics::observe(metrics::Histogram::kPcgIterationsPerSolve, 12.0);
+  const std::string json = trace::to_json();
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit_test_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"gnrfetCounters\""), std::string::npos);
+  EXPECT_NE(json.find("\"rgf_solves\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"gnrfetHistograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"pcg_iterations_per_solve\""), std::string::npos);
+  metrics::reset();
+}
+
+TEST(Trace, FlushWritesFileAndClears) {
+  const auto dir = std::filesystem::temp_directory_path() / "gnrfet_trace_flush_test";
+  std::filesystem::remove_all(dir);
+  const std::string path = (dir / "nested" / "trace.json").string();
+  TraceGuard guard(path);
+  {
+    trace::Span span("test", "flushed_span");
+  }
+  ASSERT_GE(trace::event_count(), 1u);
+  trace::flush();
+  EXPECT_EQ(trace::event_count(), 0u);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_TRUE(json_balanced(ss.str()));
+  EXPECT_NE(ss.str().find("flushed_span"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Metrics, CounterAndHistogramNamesAreStable) {
+  EXPECT_STREQ(metrics::counter_name(metrics::Counter::kGummelIterations),
+               "gummel_iterations");
+  EXPECT_STREQ(metrics::counter_name(metrics::Counter::kTableCacheHits),
+               "table_cache_hits");
+  EXPECT_STREQ(metrics::histogram_name(metrics::Histogram::kEnergyPointsPerTransport),
+               "energy_points_per_transport");
+  EXPECT_EQ(metrics::bucket_lower_bound(0), 0.0);
+  EXPECT_EQ(metrics::bucket_lower_bound(1), 1.0);
+  EXPECT_EQ(metrics::bucket_lower_bound(4), 8.0);
+}
+
+TEST(Metrics, ObserveFillsLog2Buckets) {
+  metrics::reset();
+  metrics::observe(metrics::Histogram::kGummelIterationsPerBias, 0.5);   // bucket 0
+  metrics::observe(metrics::Histogram::kGummelIterationsPerBias, 1.0);   // bucket 1
+  metrics::observe(metrics::Histogram::kGummelIterationsPerBias, 5.0);   // bucket 3
+  metrics::observe(metrics::Histogram::kGummelIterationsPerBias, 5.5);   // bucket 3
+  const auto snap = metrics::snapshot();
+  const auto& h =
+      snap.histograms[static_cast<size_t>(metrics::Histogram::kGummelIterationsPerBias)];
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_DOUBLE_EQ(h.sum, 12.0);
+  EXPECT_DOUBLE_EQ(h.min, 0.5);
+  EXPECT_DOUBLE_EQ(h.max, 5.5);
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[1], 1u);
+  EXPECT_EQ(h.buckets[3], 2u);
+  metrics::reset();
+  EXPECT_EQ(metrics::snapshot().counters[0], 0u);
+}
+
+TEST(MetricsParallel, CountersMergeAcrossPoolThreads) {
+  metrics::reset();
+  ThreadCountGuard threads(4);
+  const size_t n = 1000;
+  par::parallel_for(n, [&](size_t) {
+    metrics::add(metrics::Counter::kRgfSolves);
+    metrics::observe(metrics::Histogram::kPcgIterationsPerSolve, 2.0);
+  });
+  const auto snap = metrics::snapshot();
+  EXPECT_EQ(snap.counters[static_cast<size_t>(metrics::Counter::kRgfSolves)], n);
+  const auto& h =
+      snap.histograms[static_cast<size_t>(metrics::Histogram::kPcgIterationsPerSolve)];
+  EXPECT_EQ(h.count, n);
+  EXPECT_DOUBLE_EQ(h.sum, 2.0 * static_cast<double>(n));
+  metrics::reset();
+}
+
+/// A minimal but well-formed device table for serialization tests.
+device::DeviceTable tiny_table() {
+  device::DeviceTable t;
+  t.vg = {0.0, 0.5};
+  t.vd = {0.0, 0.25};
+  t.current_A = {0.0, 1e-6, 0.0, 2e-6};
+  t.charge_C = {1e-19, 2e-19, 3e-19, 4e-19};
+  t.band_gap_eV = 0.6;
+  return t;
+}
+
+TEST(TableWriterParallel, ConcurrentSavesToOnePathLeaveNoTempFiles) {
+  const auto dir = std::filesystem::temp_directory_path() / "gnrfet_save_race_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "table.csv").string();
+  const device::DeviceTable t = tiny_table();
+
+  ThreadCountGuard threads(8);
+  // Many concurrent writers to the same final path: each must stage under
+  // a unique temp name (pid + thread id + counter), so every writer's
+  // rename lands a complete file and no .tmp.* litter survives.
+  par::parallel_for(32, [&](size_t) { device::save_table(t, path, "race-key"); });
+
+  const device::DeviceTable r = device::load_table(path);
+  EXPECT_EQ(r.vg, t.vg);
+  EXPECT_EQ(r.current_A, t.current_A);
+  size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    ++files;
+    EXPECT_EQ(entry.path().filename().string().find(".tmp."), std::string::npos)
+        << "leftover temp file: " << entry.path();
+  }
+  EXPECT_EQ(files, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CacheDirParallel, DirectoryIsStableUnderConcurrentCalls) {
+  const auto dir = std::filesystem::temp_directory_path() / "gnrfet_cache_dir_test";
+  std::filesystem::remove_all(dir);
+  ::setenv("GNRFET_CACHE_DIR", dir.string().c_str(), 1);
+  ThreadCountGuard threads(8);
+  std::vector<std::string> results(64);
+  par::parallel_for(results.size(), [&](size_t i) { results[i] = cache::directory(); });
+  ::unsetenv("GNRFET_CACHE_DIR");
+  for (const auto& r : results) EXPECT_EQ(r, dir.string());
+  EXPECT_TRUE(std::filesystem::is_directory(dir));
+  std::filesystem::remove_all(dir);
+  // Default resolution (no override) is memoized: repeated calls agree.
+  EXPECT_EQ(cache::directory(), cache::directory());
+}
+
+}  // namespace

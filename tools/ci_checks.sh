@@ -6,6 +6,8 @@
 #   tsan      ThreadSanitizer run of the parallel determinism suites
 #   checks-off  Release build with GNRFET_CHECKS=OFF (contracts compiled out):
 #               the tier-1 suite must still pass without the contract layer
+#   trace     fast suite under GNRFET_TRACE: the emitted Chrome trace JSON
+#             must parse and summarize through gnrfet_trace_report
 #   tidy      clang-tidy over all translation units (skipped when clang-tidy
 #             is not installed)
 #
@@ -21,7 +23,7 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(werror asan-ubsan tsan checks-off tidy)
+  STAGES=(werror asan-ubsan tsan checks-off trace tidy)
 fi
 
 banner() { printf '\n=== ci_checks: %s ===\n' "$1"; }
@@ -59,6 +61,23 @@ for stage in "${STAGES[@]}"; do
         -DGNRFET_CHECKS=OFF -DCMAKE_BUILD_TYPE=Release -DGNRFET_WERROR=ON
       ctest --test-dir "$ROOT/build-ci-nochecks" -j "$JOBS" --output-on-failure
       ;;
+    trace)
+      banner "tracing enabled end-to-end: emit, parse, report"
+      configure_and_build "$ROOT/build-ci-trace"
+      TRACE_JSON="$ROOT/build-ci-trace/ci_trace.json"
+      rm -f "$TRACE_JSON"
+      # Real self-consistent and circuit solves (device -> poisson -> negf
+      # -> linalg, plus circuit DC/transient) traced end-to-end; skips the
+      # trace unit tests themselves, which reset the global buffers.
+      GNRFET_TRACE="$TRACE_JSON" "$ROOT/build-ci-trace/tests/gnrfet_tests" \
+        --gtest_filter='SelfConsistent.*:Dc.*:Transient.*'
+      test -s "$TRACE_JSON" || { echo "trace stage: no trace written" >&2; exit 1; }
+      for cat in negf poisson device circuit linalg; do
+        grep -q "\"cat\":\"$cat\"" "$TRACE_JSON" ||
+          { echo "trace stage: no spans from subsystem '$cat'" >&2; exit 1; }
+      done
+      "$ROOT/build-ci-trace/tools/gnrfet_trace_report" "$TRACE_JSON"
+      ;;
     tidy)
       if ! command -v clang-tidy >/dev/null 2>&1; then
         banner "clang-tidy not installed; skipping tidy stage"
@@ -69,7 +88,7 @@ for stage in "${STAGES[@]}"; do
       ;;
     *)
       echo "ci_checks: unknown stage '$stage'" >&2
-      echo "known stages: werror asan-ubsan tsan checks-off tidy" >&2
+      echo "known stages: werror asan-ubsan tsan checks-off trace tidy" >&2
       exit 2
       ;;
   esac

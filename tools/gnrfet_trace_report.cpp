@@ -1,0 +1,375 @@
+// Summarizes a Chrome trace-event JSON file emitted by the GNRFET trace
+// layer (common/trace.hpp, enabled via GNRFET_TRACE=<path>). Prints, per
+// (subsystem, span): call count, total and self wall time (self = total
+// minus enclosed child spans on the same thread), and per-call stats;
+// then a per-subsystem rollup of self time, the metrics counters, and the
+// metrics histograms embedded in the file.
+//
+// Usage: gnrfet_trace_report <trace.json>   (exit 0 = ok, 1 = bad input)
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+/// Minimal JSON value: enough for the subset the trace writer emits
+/// (objects, arrays, strings, numbers, bools, null). Objects keep
+/// insertion order as key/value pairs.
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  const Value* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool parse(Value& out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+  size_t error_pos() const { return pos_; }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    const size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u':
+            // The writer never emits \u escapes; accept and skip them.
+            if (pos_ + 4 > text_.size()) return false;
+            pos_ += 4;
+            out += '?';
+            break;
+          default:
+            return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return false;
+  }
+
+  bool parse_number(double& out) {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '-' ||
+            text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    // strtod instead of stod: stod throws on subnormal magnitudes, which a
+    // histogram sum can legitimately contain.
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    out = std::strtod(token.c_str(), &end);
+    return end == token.c_str() + token.size();
+  }
+
+  bool parse_value(Value& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out.kind = Value::Kind::kObject;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) return false;
+        skip_ws();
+        if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+        ++pos_;
+        Value v;
+        if (!parse_value(v)) return false;
+        out.object.emplace_back(std::move(key), std::move(v));
+        skip_ws();
+        if (pos_ >= text_.size()) return false;
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out.kind = Value::Kind::kArray;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        Value v;
+        if (!parse_value(v)) return false;
+        out.array.push_back(std::move(v));
+        skip_ws();
+        if (pos_ >= text_.size()) return false;
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '"') {
+      out.kind = Value::Kind::kString;
+      return parse_string(out.str);
+    }
+    if (c == 't') {
+      out.kind = Value::Kind::kBool;
+      out.boolean = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out.kind = Value::Kind::kBool;
+      out.boolean = false;
+      return literal("false");
+    }
+    if (c == 'n') {
+      out.kind = Value::Kind::kNull;
+      return literal("null");
+    }
+    out.kind = Value::Kind::kNumber;
+    return parse_number(out.number);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+struct SpanEvent {
+  std::string cat;
+  std::string name;
+  double ts = 0.0;
+  double dur = 0.0;
+  double self = 0.0;  // dur minus children, filled by compute_self_times
+  int64_t tid = 0;
+};
+
+/// Attribute each span's duration minus its same-thread children: spans
+/// nest by construction (RAII), so on every thread the events form a
+/// forest ordered by (ts, -dur).
+void compute_self_times(std::vector<SpanEvent>& events) {
+  std::map<int64_t, std::vector<SpanEvent*>> by_tid;
+  for (auto& e : events) {
+    e.self = e.dur;
+    by_tid[e.tid].push_back(&e);
+  }
+  for (auto& [tid, list] : by_tid) {
+    std::sort(list.begin(), list.end(), [](const SpanEvent* a, const SpanEvent* b) {
+      if (a->ts != b->ts) return a->ts < b->ts;
+      return a->dur > b->dur;
+    });
+    std::vector<SpanEvent*> stack;
+    for (SpanEvent* e : list) {
+      while (!stack.empty() && stack.back()->ts + stack.back()->dur <= e->ts + 1e-9) {
+        stack.pop_back();
+      }
+      if (!stack.empty()) stack.back()->self -= e->dur;
+      stack.push_back(e);
+    }
+  }
+}
+
+struct SpanStats {
+  uint64_t count = 0;
+  double total_us = 0.0;
+  double self_us = 0.0;
+  double min_us = 1e300;
+  double max_us = 0.0;
+};
+
+std::string fmt_ms(double us) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << us / 1000.0;
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: gnrfet_trace_report <trace.json>\n";
+    return 1;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::cerr << "gnrfet_trace_report: cannot open " << argv[1] << "\n";
+    return 1;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+
+  Value root;
+  Parser parser(text);
+  if (!parser.parse(root) || root.kind != Value::Kind::kObject) {
+    std::cerr << "gnrfet_trace_report: " << argv[1] << ": JSON parse error near byte "
+              << parser.error_pos() << "\n";
+    return 1;
+  }
+  const Value* trace_events = root.find("traceEvents");
+  if (!trace_events || trace_events->kind != Value::Kind::kArray) {
+    std::cerr << "gnrfet_trace_report: missing traceEvents array\n";
+    return 1;
+  }
+
+  std::vector<SpanEvent> events;
+  for (const Value& ev : trace_events->array) {
+    if (ev.kind != Value::Kind::kObject) continue;
+    const Value* ph = ev.find("ph");
+    if (!ph || ph->str != "X") continue;
+    SpanEvent e;
+    if (const Value* v = ev.find("cat")) e.cat = v->str;
+    if (const Value* v = ev.find("name")) e.name = v->str;
+    if (const Value* v = ev.find("ts")) e.ts = v->number;
+    if (const Value* v = ev.find("dur")) e.dur = v->number;
+    if (const Value* v = ev.find("tid")) e.tid = static_cast<int64_t>(v->number);
+    events.push_back(std::move(e));
+  }
+  compute_self_times(events);
+
+  std::map<std::pair<std::string, std::string>, SpanStats> spans;
+  std::map<std::string, double> subsystem_self_us;
+  for (const SpanEvent& e : events) {
+    SpanStats& s = spans[{e.cat, e.name}];
+    ++s.count;
+    s.total_us += e.dur;
+    s.self_us += e.self;
+    s.min_us = std::min(s.min_us, e.dur);
+    s.max_us = std::max(s.max_us, e.dur);
+    subsystem_self_us[e.cat] += e.self;
+  }
+
+  std::cout << "trace: " << argv[1] << " (" << events.size() << " spans)\n\n";
+  std::cout << std::left << std::setw(10) << "subsystem" << std::setw(28) << "span"
+            << std::right << std::setw(10) << "count" << std::setw(14) << "total_ms"
+            << std::setw(14) << "self_ms" << std::setw(12) << "mean_us" << std::setw(12)
+            << "max_us" << "\n";
+  for (const auto& [key, s] : spans) {
+    std::cout << std::left << std::setw(10) << key.first << std::setw(28) << key.second
+              << std::right << std::setw(10) << s.count << std::setw(14)
+              << fmt_ms(s.total_us) << std::setw(14) << fmt_ms(s.self_us) << std::setw(12)
+              << std::fixed << std::setprecision(1)
+              << s.total_us / static_cast<double>(s.count) << std::setw(12) << s.max_us
+              << "\n";
+  }
+
+  std::cout << "\nper-subsystem self time:\n";
+  std::vector<std::pair<std::string, double>> subsystems(subsystem_self_us.begin(),
+                                                         subsystem_self_us.end());
+  std::sort(subsystems.begin(), subsystems.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  for (const auto& [cat, self_us] : subsystems) {
+    std::cout << "  " << std::left << std::setw(10) << cat << std::right << std::setw(14)
+              << fmt_ms(self_us) << " ms\n";
+  }
+
+  if (const Value* counters = root.find("gnrfetCounters");
+      counters && counters->kind == Value::Kind::kObject) {
+    std::cout << "\ncounters:\n";
+    for (const auto& [name, v] : counters->object) {
+      std::cout << "  " << std::left << std::setw(28) << name << std::right << std::setw(14)
+                << static_cast<uint64_t>(v.number) << "\n";
+    }
+  }
+
+  if (const Value* hists = root.find("gnrfetHistograms");
+      hists && hists->kind == Value::Kind::kObject) {
+    std::cout << "\nhistograms (per-call distributions):\n";
+    for (const auto& [name, h] : hists->object) {
+      const Value* count = h.find("count");
+      if (!count || count->number <= 0) continue;
+      const Value* sum = h.find("sum");
+      const Value* min = h.find("min");
+      const Value* max = h.find("max");
+      std::cout << "  " << std::left << std::setw(28) << name << std::right
+                << " count=" << static_cast<uint64_t>(count->number)
+                << " mean=" << std::setprecision(2)
+                << (sum ? sum->number / count->number : 0.0)
+                << " min=" << (min ? min->number : 0.0) << " max=" << (max ? max->number : 0.0)
+                << "\n";
+      if (const Value* buckets = h.find("buckets");
+          buckets && buckets->kind == Value::Kind::kArray) {
+        for (const Value& b : buckets->array) {
+          if (b.array.size() != 2) continue;
+          std::cout << "      >= " << std::setw(10) << b.array[0].number << " : "
+                    << static_cast<uint64_t>(b.array[1].number) << "\n";
+        }
+      }
+    }
+  }
+  return 0;
+}
