@@ -1,0 +1,116 @@
+/// Poisson linear-solver microbenchmark: one fixed assembly (a MOS-like
+/// gate stack around a channel plane) and one fixed set of charge/bias
+/// right-hand sides, solved under each preconditioner. Emits
+/// bench_out/BENCH_poisson.json with one {preconditioner, iterations,
+/// seconds} record per line — the repo's perf-trajectory file — and a CSV
+/// mirror. tools/ci_checks.sh perf-smoke asserts IC(0) beats Jacobi on
+/// total PCG iterations.
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/metrics.hpp"
+#include "poisson/assembly.hpp"
+#include "poisson/grid.hpp"
+#include "poisson/solver.hpp"
+
+using namespace gnrfet;
+
+namespace {
+
+struct Workload {
+  poisson::GridSpec grid;
+  std::vector<std::vector<double>> fixed_sets;  ///< fixed charge per case
+  std::vector<std::vector<double>> n0_sets;     ///< electron population per case
+  std::vector<double> p0, zero;
+};
+
+Workload build_workload(const poisson::Domain& domain, const poisson::GridSpec& g) {
+  Workload w;
+  w.grid = g;
+  w.zero.assign(g.num_nodes(), 0.0);
+  w.p0.assign(g.num_nodes(), 0.0);
+  // Charge cases: a sheet of channel electrons at three densities plus a
+  // localized impurity, mirroring what the Gummel loop feeds Poisson.
+  for (const double amp : {0.2, 0.6, 1.2}) {
+    std::vector<double> fixed(g.num_nodes(), 0.0);
+    std::vector<double> n0(g.num_nodes(), 0.0);
+    domain.deposit_charge(g.x(g.nx / 3), g.y(g.ny / 2), g.z(g.nz / 2), 1.0, fixed);
+    for (size_t i = 2; i + 2 < g.nx; ++i) {
+      domain.deposit_charge(g.x(i), g.y(g.ny / 2), g.z(g.nz / 2), amp / double(g.nx), n0);
+    }
+    w.fixed_sets.push_back(std::move(fixed));
+    w.n0_sets.push_back(std::move(n0));
+  }
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  // ~50k free nodes by default — the fig2 device grid scale; shrink via
+  // env for the CI smoke run.
+  poisson::GridSpec g;
+  g.nx = static_cast<size_t>(bench::env_int("GNRFET_BENCH_POISSON_NX", 48));
+  g.ny = static_cast<size_t>(bench::env_int("GNRFET_BENCH_POISSON_NY", 32));
+  g.nz = static_cast<size_t>(bench::env_int("GNRFET_BENCH_POISSON_NZ", 32));
+  g.dx = g.dy = g.dz = 0.25;
+  const int repeats = bench::env_int("GNRFET_BENCH_POISSON_REPEATS", 3);
+
+  poisson::Domain domain(g);
+  domain.paint_permittivity({-1.0, 1e9, -1.0, 1e9, -1.0, 1e9}, 3.9);
+  // Top/bottom gate planes: Dirichlet boundaries as in the device stack.
+  domain.add_electrode({-1.0, 1e9, -1.0, 1e9, -0.001, 0.001});
+  domain.add_electrode({-1.0, 1e9, -1.0, 1e9, g.z_max() - 0.001, g.z_max() + 0.001});
+  const poisson::Assembly assembly(domain);
+  const Workload w = build_workload(domain, g);
+
+  bench::banner("Poisson PCG preconditioners (fixed assembly, fixed RHS set)");
+  std::printf("grid %zux%zux%zu, %zu free nodes, %zu charge cases x %d repeats\n", g.nx, g.ny,
+              g.nz, assembly.num_free(), w.fixed_sets.size(), repeats);
+
+  bench::output_path("poisson_solver");  // ensures bench_out/ exists
+  std::ofstream json("bench_out/BENCH_poisson.json");
+  csv::Table table({"preconditioner_id", "pcg_iterations", "precond_setups", "seconds"});
+  table.set_meta("preconditioner_id", "0 = jacobi, 1 = ssor, 2 = ic0");
+
+  for (const char* pc : {"jacobi", "ssor", "ic0"}) {
+    const auto kind = linalg::preconditioner_kind_from_string(pc);
+    const auto before = metrics::snapshot();
+    bench::PhaseTimer timer("poisson_solver", pc);
+    for (int rep = 0; rep < repeats; ++rep) {
+      poisson::PoissonSolver solver(assembly, kind);
+      for (size_t c = 0; c < w.fixed_sets.size(); ++c) {
+        const auto phi_lin = solver.solve_linear({0.0, 0.4}, w.fixed_sets[c]);
+        const auto res = solver.solve_nonlinear({0.0, 0.4}, w.n0_sets[c], w.p0,
+                                                w.fixed_sets[c], phi_lin, phi_lin);
+        if (!res.converged) {
+          std::fprintf(stderr, "poisson bench: %s case %zu did not converge\n", pc, c);
+          return 1;
+        }
+      }
+    }
+    const double seconds = timer.stop();
+    const auto after = metrics::snapshot();
+    const auto iters =
+        after.counters[static_cast<size_t>(metrics::Counter::kPcgIterations)] -
+        before.counters[static_cast<size_t>(metrics::Counter::kPcgIterations)];
+    const auto setups =
+        after.counters[static_cast<size_t>(metrics::Counter::kPcgPrecondSetups)] -
+        before.counters[static_cast<size_t>(metrics::Counter::kPcgPrecondSetups)];
+    std::printf("%-6s: %6llu PCG iterations, %4llu precond setups, %.3f s\n", pc,
+                static_cast<unsigned long long>(iters), static_cast<unsigned long long>(setups),
+                seconds);
+    json << "{\"preconditioner\":\"" << pc << "\",\"iterations\":" << iters
+         << ",\"seconds\":" << seconds << "}\n";
+    table.add_row({double(kind == linalg::PreconditionerKind::kJacobi   ? 0
+                          : kind == linalg::PreconditionerKind::kSsor ? 1
+                                                                      : 2),
+                   double(iters), double(setups), seconds});
+  }
+  json.close();
+  std::printf("[json] bench_out/BENCH_poisson.json\n");
+  bench::save_csv(table, "poisson_solver");
+  return 0;
+}

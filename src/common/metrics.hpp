@@ -28,6 +28,7 @@ enum class Counter {
   kRgfSolves,                 ///< negf: individual RGF solves (per energy, per mode)
   kPoissonNewtonIterations,   ///< poisson: damped-Newton iterations
   kPcgIterations,             ///< linalg: PCG iterations
+  kPcgPrecondSetups,          ///< linalg: preconditioner factor/refactor passes
   kTableCacheHits,            ///< device: bias tables served from disk cache
   kTableCacheMisses,          ///< device: bias tables generated cold
   kMnaFactorizations,         ///< circuit: dense LU factorizations of the MNA Jacobian
@@ -46,7 +47,10 @@ void add(Counter c, uint64_t delta = 1);
 enum class Histogram {
   kGummelIterationsPerBias = 0,  ///< device: outer iterations per solve()
   kNewtonIterationsPerSolve,     ///< poisson: Newton iterations per nonlinear solve
-  kPcgIterationsPerSolve,        ///< linalg: PCG iterations per solve
+  kPcgIterationsPerSolve,        ///< linalg: PCG iterations per solve (all preconditioners)
+  kPcgIterationsJacobi,          ///< linalg: PCG iterations per Jacobi-preconditioned solve
+  kPcgIterationsSsor,            ///< linalg: PCG iterations per SSOR-preconditioned solve
+  kPcgIterationsIc0,             ///< linalg: PCG iterations per IC(0)-preconditioned solve
   kEnergyPointsPerTransport,     ///< negf: energy grid size per transport solve
   kCount
 };

@@ -6,7 +6,7 @@
 #include "common/metrics.hpp"
 #include "common/strings.hpp"
 #include "common/trace.hpp"
-#include "poisson/nonlinear.hpp"
+#include "poisson/solver.hpp"
 
 namespace gnrfet::device {
 
@@ -28,6 +28,12 @@ DeviceSolution SelfConsistentSolver::solve(const BiasPoint& bias,
 
   const std::vector<double> volts = geo_.electrode_voltages(0.0, bias.vd, bias.vg);
 
+  // One reusable Poisson solver for the whole bias point: the Jacobian
+  // copy, preconditioner factorization, and PCG workspace persist across
+  // every Newton iteration of every Gummel iteration below. Local to this
+  // call because solve() runs concurrently on pool threads.
+  poisson::PoissonSolver psolver(geo_.assembly());
+
   // Initial potential: warm start or the charge-free (Laplace + impurity)
   // solution. A warm start whose potential was solved on a different grid
   // is a caller bug (e.g. mixing solutions across geometries) — reject it
@@ -40,7 +46,7 @@ DeviceSolution SelfConsistentSolver::solve(const BiasPoint& bias,
                                    warm_start->phi_full.size(), grid.num_nodes()));
     phi = warm_start->phi_full;
   } else {
-    phi = poisson::solve_linear_poisson(geo_.assembly(), volts, geo_.impurity_charge());
+    phi = psolver.solve_linear(volts, geo_.impurity_charge());
   }
 
   negf::TransportOptions topt;
@@ -84,9 +90,8 @@ DeviceSolution SelfConsistentSolver::solve(const BiasPoint& bias,
       }
     }
 
-    const auto pres = poisson::solve_nonlinear_poisson(geo_.assembly(), volts, n_nodes,
-                                                       p_nodes, geo_.impurity_charge(), phi,
-                                                       phi, popt);
+    const auto pres =
+        psolver.solve_nonlinear(volts, n_nodes, p_nodes, geo_.impurity_charge(), phi, phi, popt);
     // Convergence metric: potential change on the ribbon plane.
     double max_change = 0.0;
     for (size_t c = 0; c < ncol; ++c) {

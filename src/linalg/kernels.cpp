@@ -1,0 +1,46 @@
+#include "linalg/kernels.hpp"
+
+namespace gnrfet::linalg::kernels {
+
+namespace {
+
+constexpr size_t kBlock = 32;
+
+double dot_sequential(const double* a, const double* b, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+/// Pairwise over [0, n): sequential below one block, recursive halving
+/// above. The split point is the largest multiple of kBlock at or above
+/// n/2, so the recursion shape depends only on n — never on the data.
+double dot_pairwise(const double* a, const double* b, size_t n) {
+  if (n <= kBlock) return dot_sequential(a, b, n);
+  size_t half = (n / 2 + kBlock - 1) / kBlock * kBlock;
+  if (half >= n) half = n - kBlock;
+  return dot_pairwise(a, b, half) + dot_pairwise(a + half, b + half, n - half);
+}
+
+}  // namespace
+
+double dot(const double* a, const double* b, size_t n, SumOrder order) {
+  return order == SumOrder::kSequential ? dot_sequential(a, b, n) : dot_pairwise(a, b, n);
+}
+
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void xpby(const std::vector<double>& z, double beta, std::vector<double>& p) {
+  for (size_t i = 0; i < z.size(); ++i) p[i] = z[i] + beta * p[i];
+}
+
+double gather_dot(const double* values, const size_t* col, size_t begin, size_t end,
+                  const double* x) {
+  double s = 0.0;
+  for (size_t k = begin; k < end; ++k) s += values[k] * x[col[k]];
+  return s;
+}
+
+}  // namespace gnrfet::linalg::kernels

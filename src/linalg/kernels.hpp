@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+/// Shared scalar kernels for the iterative-solver stack (PCG and the
+/// preconditioner sweeps). Every reduction here runs in ONE documented,
+/// input-independent order, so results are bit-reproducible run-to-run
+/// and thread-count-to-thread-count (each solve runs on a single thread;
+/// parallelism is across solves).
+///
+/// Two summation orders are provided:
+///
+///  - kSequential: strict left-to-right accumulation. This is the order
+///    the original pcg_solve used; it is kept selectable because the
+///    GNRFET_POISSON_PC=jacobi baseline path is pinned bit-for-bit to the
+///    pre-preconditioner solver.
+///  - kPairwise: blocked pairwise (tree) summation — the vector is cut
+///    into fixed 32-element blocks accumulated left-to-right, and block
+///    sums are combined by recursive halving. Rounding error grows
+///    O(log n) instead of O(n), which matters for the 1e-9 relative
+///    tolerances of the inner Newton solves on grids with ~1e5 nodes.
+///    This is the default for the ic0/ssor production paths.
+namespace gnrfet::linalg::kernels {
+
+enum class SumOrder {
+  kSequential,  ///< left-to-right; bit-compatible with the pre-PR solver
+  kPairwise,    ///< blocked pairwise; default accuracy-oriented order
+};
+
+/// Inner product a . b over n entries in the given summation order.
+double dot(const double* a, const double* b, size_t n, SumOrder order);
+
+inline double dot(const std::vector<double>& a, const std::vector<double>& b, SumOrder order) {
+  return dot(a.data(), b.data(), a.size(), order);
+}
+
+/// y += alpha * x (element-wise; no reduction, bit-identical in any order).
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y);
+
+/// p = z + beta * p (the PCG direction update).
+void xpby(const std::vector<double>& z, double beta, std::vector<double>& p);
+
+/// Row-segment accumulator for sparse triangular sweeps: returns
+/// sum_k values[k] * x[col[k]] for k in [begin, end). Rows of the Poisson
+/// stencil hold at most 7 entries, so this always runs sequentially —
+/// which IS the documented order for the preconditioner sweeps.
+double gather_dot(const double* values, const size_t* col, size_t begin, size_t end,
+                  const double* x);
+
+}  // namespace gnrfet::linalg::kernels

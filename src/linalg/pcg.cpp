@@ -1,6 +1,7 @@
 #include "linalg/pcg.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "common/contracts.hpp"
@@ -11,21 +12,27 @@ namespace gnrfet::linalg {
 
 namespace {
 
-double dot(const std::vector<double>& a, const std::vector<double>& b) {
-  double s = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
-}
-
-/// Records the final iteration count once, on every exit path.
+/// Records the final iteration count once, on every exit path — both into
+/// the global PCG histogram and into the per-preconditioner one, so the
+/// trace report can show the Jacobi-vs-SSOR-vs-IC(0) iteration split.
 struct IterationRecorder {
   const PcgResult& result;
+  metrics::Histogram per_pc;
   ~IterationRecorder() {
     metrics::add(metrics::Counter::kPcgIterations, static_cast<uint64_t>(result.iterations));
     metrics::observe(metrics::Histogram::kPcgIterationsPerSolve,
                      static_cast<double>(result.iterations));
+    metrics::observe(per_pc, static_cast<double>(result.iterations));
   }
 };
+
+metrics::Histogram histogram_for(const Preconditioner* pc) {
+  if (pc == nullptr || std::strcmp(pc->name(), "jacobi") == 0) {
+    return metrics::Histogram::kPcgIterationsJacobi;
+  }
+  if (std::strcmp(pc->name(), "ssor") == 0) return metrics::Histogram::kPcgIterationsSsor;
+  return metrics::Histogram::kPcgIterationsIc0;
+}
 
 }  // namespace
 
@@ -35,23 +42,35 @@ PcgResult pcg_solve(const SparseMatrix& a, const std::vector<double>& b,
   const size_t n = a.dim();
   if (b.size() != n) throw std::invalid_argument("pcg_solve: rhs size mismatch");
   if (x.size() != n) x.assign(n, 0.0);
+  const kernels::SumOrder order = opts.sum_order;
 
-  std::vector<double> inv_diag = a.diagonal();
-  for (auto& d : inv_diag) d = (std::abs(d) > 1e-300) ? 1.0 / d : 1.0;
+  // Callers without an explicit preconditioner get the historical per-call
+  // Jacobi; its factor() reproduces the old inv_diag formula exactly.
+  JacobiPreconditioner fallback;
+  const Preconditioner* precond = opts.preconditioner;
+  if (precond == nullptr) {
+    fallback.factor(a);
+    precond = &fallback;
+  }
 
-  std::vector<double> r(n), z(n), p(n), ap(n);
-  a.multiply(x, ap);
-  for (size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
-  const double b_norm = std::sqrt(std::max(dot(b, b), 1e-300));
+  PcgWorkspace local;
+  PcgWorkspace& ws = opts.workspace != nullptr ? *opts.workspace : local;
+  ws.r.resize(n);
+  ws.z.resize(n);
+  ws.ap.resize(n);
 
-  for (size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
-  p = z;
-  double rz = dot(r, z);
+  a.multiply(x, ws.ap);
+  for (size_t i = 0; i < n; ++i) ws.r[i] = b[i] - ws.ap[i];
+  const double b_norm = std::sqrt(std::max(kernels::dot(b, b, order), 1e-300));
+
+  precond->apply(ws.r, ws.z);
+  ws.p = ws.z;
+  double rz = kernels::dot(ws.r, ws.z, order);
 
   PcgResult result;
-  const IterationRecorder recorder{result};
+  const IterationRecorder recorder{result, histogram_for(opts.preconditioner)};
   for (size_t it = 0; it < opts.max_iterations; ++it) {
-    const double r_norm = std::sqrt(dot(r, r));
+    const double r_norm = std::sqrt(kernels::dot(ws.r, ws.r, order));
     result.residual_norm = r_norm;
     result.iterations = it;
     if (r_norm <= opts.rel_tolerance * b_norm || r_norm <= opts.abs_tolerance) {
@@ -60,21 +79,19 @@ PcgResult pcg_solve(const SparseMatrix& a, const std::vector<double>& b,
                     "PCG converged to a solution containing NaN/inf");
       return result;
     }
-    a.multiply(p, ap);
-    const double pap = dot(p, ap);
+    a.multiply(ws.p, ws.ap);
+    const double pap = kernels::dot(ws.p, ws.ap, order);
     if (pap <= 0.0) break;  // not SPD or breakdown
     const double alpha = rz / pap;
-    for (size_t i = 0; i < n; ++i) {
-      x[i] += alpha * p[i];
-      r[i] -= alpha * ap[i];
-    }
-    for (size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
-    const double rz_new = dot(r, z);
+    kernels::axpy(alpha, ws.p, x);
+    kernels::axpy(-alpha, ws.ap, ws.r);
+    precond->apply(ws.r, ws.z);
+    const double rz_new = kernels::dot(ws.r, ws.z, order);
     const double beta = rz_new / rz;
     rz = rz_new;
-    for (size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    kernels::xpby(ws.z, beta, ws.p);
   }
-  result.residual_norm = std::sqrt(dot(r, r));
+  result.residual_norm = std::sqrt(kernels::dot(ws.r, ws.r, order));
   return result;
 }
 

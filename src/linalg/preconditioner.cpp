@@ -1,0 +1,311 @@
+#include "linalg/preconditioner.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/metrics.hpp"
+#include "linalg/kernels.hpp"
+
+namespace gnrfet::linalg {
+
+namespace {
+
+/// Matches the escalation used by shifted-IC implementations: start
+/// unshifted, then 1e-3 relative, then x10 per retry.
+constexpr double kFirstShift = 1e-3;
+constexpr double kMaxShift = 1e3;
+
+void record_setup() { metrics::add(metrics::Counter::kPcgPrecondSetups); }
+
+}  // namespace
+
+// ---------------------------------------------------------------- Jacobi
+
+void JacobiPreconditioner::factor(const SparseMatrix& a) {
+  inv_diag_ = a.diagonal();
+  // Same guard and formula as the pre-preconditioner pcg_solve: the
+  // GNRFET_POISSON_PC=jacobi path must stay bit-identical to it.
+  for (auto& d : inv_diag_) d = (std::abs(d) > 1e-300) ? 1.0 / d : 1.0;
+  record_setup();
+}
+
+void JacobiPreconditioner::apply(const std::vector<double>& r, std::vector<double>& z) const {
+  if (r.size() != inv_diag_.size()) {
+    throw std::invalid_argument("JacobiPreconditioner::apply: size mismatch");
+  }
+  z.resize(r.size());
+  for (size_t i = 0; i < r.size(); ++i) z[i] = inv_diag_[i] * r[i];
+}
+
+// ------------------------------------------------------------------ SSOR
+
+SsorPreconditioner::SsorPreconditioner(double omega) : omega_(omega) {
+  if (!(omega > 0.0 && omega < 2.0)) {
+    throw std::invalid_argument("SsorPreconditioner: omega must be in (0, 2)");
+  }
+}
+
+void SsorPreconditioner::factor(const SparseMatrix& a) {
+  const size_t n = a.dim();
+  a_ = &a;
+  diag_idx_.assign(n, 0);
+  omega_inv_diag_.assign(n, 0.0);
+  const auto& row_ptr = a.row_ptr();
+  const auto& col = a.col_idx();
+  for (size_t i = 0; i < n; ++i) {
+    size_t pos = row_ptr[i + 1];
+    for (size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      if (col[k] == i) pos = k;
+    }
+    if (pos == row_ptr[i + 1]) {
+      throw std::invalid_argument("SsorPreconditioner: row without diagonal entry");
+    }
+    diag_idx_[i] = pos;
+    const double d = a.values()[pos];
+    if (!(d > 0.0)) {
+      throw std::invalid_argument("SsorPreconditioner: non-positive diagonal");
+    }
+    omega_inv_diag_[i] = omega_ / d;
+  }
+  t_.assign(n, 0.0);
+  record_setup();
+}
+
+void SsorPreconditioner::refactor(const SparseMatrix& a) {
+  if (a_ != &a || diag_idx_.size() != a.dim()) {
+    factor(a);
+    return;
+  }
+  // Pattern unchanged: only the diagonal scale needs refreshing.
+  for (size_t i = 0; i < a.dim(); ++i) {
+    const double d = a.values()[diag_idx_[i]];
+    if (!(d > 0.0)) {
+      throw std::invalid_argument("SsorPreconditioner: non-positive diagonal");
+    }
+    omega_inv_diag_[i] = omega_ / d;
+  }
+  record_setup();
+}
+
+void SsorPreconditioner::apply(const std::vector<double>& r, std::vector<double>& z) const {
+  if (a_ == nullptr || r.size() != diag_idx_.size()) {
+    throw std::invalid_argument("SsorPreconditioner::apply: not factored / size mismatch");
+  }
+  const size_t n = r.size();
+  const auto& row_ptr = a_->row_ptr();
+  const auto& col = a_->col_idx();
+  const double* val = a_->values().data();
+  const size_t* cols = col.data();
+  z.resize(n);
+  // Forward sweep: (D/w + L) t = r. Columns are sorted, so the strict
+  // lower part of row i is exactly [row_ptr[i], diag_idx_[i]).
+  for (size_t i = 0; i < n; ++i) {
+    const double s = kernels::gather_dot(val, cols, row_ptr[i], diag_idx_[i], t_.data());
+    t_[i] = (r[i] - s) * omega_inv_diag_[i];
+  }
+  // Scale by D/w, then backward sweep: (D/w + U) z = (D/w) t.
+  for (size_t i = n; i-- > 0;) {
+    const double s =
+        kernels::gather_dot(val, cols, diag_idx_[i] + 1, row_ptr[i + 1], z.data());
+    z[i] = (t_[i] / omega_inv_diag_[i] - s) * omega_inv_diag_[i];
+  }
+}
+
+// ----------------------------------------------------------------- IC(0)
+
+IncompleteCholesky::IncompleteCholesky(double drop_compensation) : theta_(drop_compensation) {
+  if (!(theta_ >= 0.0 && theta_ <= 1.0)) {
+    throw std::invalid_argument("IncompleteCholesky: drop_compensation must be in [0, 1]");
+  }
+}
+
+void IncompleteCholesky::factor(const SparseMatrix& a) {
+  const size_t n = a.dim();
+  n_ = n;
+  const auto& row_ptr = a.row_ptr();
+  const auto& col = a.col_idx();
+
+  // Symbolic: L takes the lower-triangular pattern of A, diagonal last in
+  // each row (columns are sorted, so that is simply the j <= i prefix).
+  lrow_ptr_.assign(n + 1, 0);
+  lcol_.clear();
+  amap_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    lrow_ptr_[i] = lcol_.size();
+    bool has_diag = false;
+    for (size_t k = row_ptr[i]; k < row_ptr[i + 1] && col[k] <= i; ++k) {
+      lcol_.push_back(col[k]);
+      amap_.push_back(k);
+      has_diag |= (col[k] == i);
+    }
+    if (!has_diag) {
+      throw std::invalid_argument("IncompleteCholesky: row without diagonal entry");
+    }
+  }
+  lrow_ptr_[n] = lcol_.size();
+  lval_.assign(lcol_.size(), 0.0);
+  inv_ldiag_.assign(n, 0.0);
+  y_.assign(n, 0.0);
+
+  // Strict upper part of L^T for the backward sweep: entry (i, j) of L
+  // with j < i lands in row j, column i. Filling in ascending i keeps the
+  // columns of each L^T row sorted.
+  urow_ptr_.assign(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t k = lrow_ptr_[i]; k + 1 < lrow_ptr_[i + 1]; ++k) ++urow_ptr_[lcol_[k] + 1];
+  }
+  for (size_t i = 0; i < n; ++i) urow_ptr_[i + 1] += urow_ptr_[i];
+  ucol_.assign(urow_ptr_[n], 0);
+  umap_.assign(urow_ptr_[n], 0);
+  uval_.assign(urow_ptr_[n], 0.0);
+  std::vector<size_t> next(urow_ptr_.begin(), urow_ptr_.end() - 1);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t k = lrow_ptr_[i]; k + 1 < lrow_ptr_[i + 1]; ++k) {
+      const size_t slot = next[lcol_[k]]++;
+      ucol_[slot] = i;
+      umap_[slot] = k;
+    }
+  }
+
+  shift_ = 0.0;
+  refactor_numeric(a);
+}
+
+void IncompleteCholesky::refactor(const SparseMatrix& a) {
+  if (n_ != a.dim() || lrow_ptr_.empty()) {
+    factor(a);
+    return;
+  }
+  refactor_numeric(a);
+}
+
+/// Numeric (M)IC(0) on the stored pattern: right-looking column
+/// elimination with dropped fill compensated onto the diagonal (weight
+/// theta_), plus the diagonal-shift retry loop. Keeps any previously
+/// needed shift (retrying from zero every Newton iteration would thrash);
+/// escalates further on new breakdowns. Update order is column-major,
+/// left-to-right — fixed, so the factorization is bit-deterministic.
+void IncompleteCholesky::refactor_numeric(const SparseMatrix& a) {
+  const double* aval = a.values().data();
+  for (;;) {
+    // (Re)load the lower-triangular values of A, shift applied to the
+    // diagonal (relative to |A(ii)|).
+    for (size_t k = 0; k < lval_.size(); ++k) lval_[k] = aval[amap_[k]];
+    if (shift_ != 0.0) {
+      for (size_t i = 0; i < n_; ++i) {
+        const size_t diag_k = lrow_ptr_[i + 1] - 1;
+        const double aii = lval_[diag_k];
+        lval_[diag_k] = aii + shift_ * (std::abs(aii) > 0.0 ? std::abs(aii) : 1.0);
+      }
+    }
+
+    bool breakdown = false;
+    for (size_t j = 0; j < n_ && !breakdown; ++j) {
+      const size_t diag_j = lrow_ptr_[j + 1] - 1;
+      const double d = lval_[diag_j];
+      const double ajj = aval[amap_[diag_j]];
+      const double scale = std::abs(ajj) > 0.0 ? std::abs(ajj) : 1.0;
+      if (!(d > 1e-12 * scale)) {
+        breakdown = true;
+        break;
+      }
+      lval_[diag_j] = std::sqrt(d);
+      inv_ldiag_[j] = 1.0 / lval_[diag_j];
+      // Scale column j (rows i > j live in the transpose index).
+      const size_t cb = urow_ptr_[j];
+      const size_t ce = urow_ptr_[j + 1];
+      for (size_t u = cb; u < ce; ++u) lval_[umap_[u]] *= inv_ldiag_[j];
+      // Schur update: S(i2, i1) -= L(i1, j) L(i2, j) for i2 >= i1 > j.
+      // In-pattern targets are updated in place; dropped fill is folded
+      // onto the two diagonals it would have coupled (MIC row-sum
+      // preservation), weighted by theta_.
+      for (size_t u1 = cb; u1 < ce; ++u1) {
+        const size_t i1 = ucol_[u1];
+        const double v1 = lval_[umap_[u1]];
+        for (size_t u2 = u1; u2 < ce; ++u2) {
+          const size_t i2 = ucol_[u2];
+          const double upd = v1 * lval_[umap_[u2]];
+          // Find position (i2, i1) in row i2 (sorted, <= 7 entries).
+          size_t pos = lrow_ptr_[i2 + 1];
+          for (size_t k = lrow_ptr_[i2]; k < lrow_ptr_[i2 + 1]; ++k) {
+            if (lcol_[k] == i1) {
+              pos = k;
+              break;
+            }
+            if (lcol_[k] > i1) break;
+          }
+          if (pos != lrow_ptr_[i2 + 1]) {
+            lval_[pos] -= upd;
+          } else if (theta_ != 0.0) {
+            lval_[lrow_ptr_[i1 + 1] - 1] -= theta_ * upd;
+            lval_[lrow_ptr_[i2 + 1] - 1] -= theta_ * upd;
+          }
+        }
+      }
+    }
+    if (!breakdown) break;
+    shift_ = shift_ == 0.0 ? kFirstShift : shift_ * 10.0;
+    if (shift_ > kMaxShift) {
+      throw std::runtime_error(
+          "IncompleteCholesky: breakdown persists at maximum diagonal shift");
+    }
+  }
+  for (size_t u = 0; u < umap_.size(); ++u) uval_[u] = lval_[umap_[u]];
+  record_setup();
+}
+
+void IncompleteCholesky::apply(const std::vector<double>& r, std::vector<double>& z) const {
+  if (r.size() != n_ || lrow_ptr_.empty()) {
+    throw std::invalid_argument("IncompleteCholesky::apply: not factored / size mismatch");
+  }
+  z.resize(n_);
+  // Forward: L y = r (diagonal is the last entry of each L row).
+  for (size_t i = 0; i < n_; ++i) {
+    const size_t diag_k = lrow_ptr_[i + 1] - 1;
+    const double s = kernels::gather_dot(lval_.data(), lcol_.data(), lrow_ptr_[i], diag_k,
+                                         y_.data());
+    y_[i] = (r[i] - s) * inv_ldiag_[i];
+  }
+  // Backward: L^T z = y, strict upper part stored row-wise in ucol_/uval_.
+  for (size_t i = n_; i-- > 0;) {
+    const double s = kernels::gather_dot(uval_.data(), ucol_.data(), urow_ptr_[i],
+                                         urow_ptr_[i + 1], z.data());
+    z[i] = (y_[i] - s) * inv_ldiag_[i];
+  }
+}
+
+// --------------------------------------------------------------- factory
+
+PreconditionerKind preconditioner_kind_from_string(const std::string& s) {
+  if (s == "jacobi") return PreconditionerKind::kJacobi;
+  if (s == "ssor") return PreconditionerKind::kSsor;
+  if (s == "ic0") return PreconditionerKind::kIc0;
+  throw std::invalid_argument("unknown preconditioner '" + s +
+                              "' (expected jacobi, ssor, or ic0)");
+}
+
+const char* to_string(PreconditionerKind kind) {
+  switch (kind) {
+    case PreconditionerKind::kJacobi:
+      return "jacobi";
+    case PreconditionerKind::kSsor:
+      return "ssor";
+    case PreconditionerKind::kIc0:
+      return "ic0";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Preconditioner> make_preconditioner(PreconditionerKind kind) {
+  switch (kind) {
+    case PreconditionerKind::kJacobi:
+      return std::make_unique<JacobiPreconditioner>();
+    case PreconditionerKind::kSsor:
+      return std::make_unique<SsorPreconditioner>();
+    case PreconditionerKind::kIc0:
+      return std::make_unique<IncompleteCholesky>();
+  }
+  throw std::invalid_argument("make_preconditioner: unknown kind");
+}
+
+}  // namespace gnrfet::linalg

@@ -1,0 +1,136 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/sparse.hpp"
+
+/// Preconditioners for the PCG Poisson solves.
+///
+/// The Poisson operator is a structured-grid SPD Laplacian; Jacobi is the
+/// weakest useful preconditioner for it, and the Newton/Gummel loops solve
+/// with the same sparsity pattern thousands of times per bias table. The
+/// implementations here exploit that: `factor()` does the one-off symbolic
+/// setup (sparsity analysis, allocation), `refactor()` refreshes only the
+/// numeric content and is what the Newton loop calls when nothing but the
+/// matrix diagonal moved.
+///
+/// Every sweep runs on one thread in a fixed order (see
+/// linalg/kernels.hpp), so solves stay bit-deterministic; parallelism in
+/// this codebase is across solves, never inside one.
+namespace gnrfet::linalg {
+
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+
+  /// Full (symbolic + numeric) setup. Invalidates nothing on throw.
+  virtual void factor(const SparseMatrix& a) = 0;
+
+  /// Numeric-only refresh after value edits that preserved the sparsity
+  /// pattern (the Newton loop only retargets the diagonal). Falls back to
+  /// factor() when no prior setup exists or the dimension changed.
+  virtual void refactor(const SparseMatrix& a) = 0;
+
+  /// z = M^{-1} r. Requires a prior factor()/refactor().
+  virtual void apply(const std::vector<double>& r, std::vector<double>& z) const = 0;
+
+  /// Stable identifier: "jacobi", "ssor", or "ic0".
+  virtual const char* name() const = 0;
+};
+
+/// Diagonal scaling, kept as the selectable baseline. The inverse-diagonal
+/// formula matches the pre-preconditioner pcg_solve bit-for-bit, which the
+/// GNRFET_POISSON_PC=jacobi regression path relies on.
+class JacobiPreconditioner final : public Preconditioner {
+ public:
+  void factor(const SparseMatrix& a) override;
+  void refactor(const SparseMatrix& a) override { factor(a); }
+  void apply(const std::vector<double>& r, std::vector<double>& z) const override;
+  const char* name() const override { return "jacobi"; }
+
+ private:
+  std::vector<double> inv_diag_;
+};
+
+/// Symmetric SOR: M = (D/w + L) (D/w)^{-1} (D/w + U), applied as a forward
+/// sweep, diagonal scale, and backward sweep over the matrix rows. PCG is
+/// invariant under constant scaling of M, so the conventional 1/(w(2-w))
+/// factor is dropped. The matrix passed to factor()/refactor() must
+/// outlive the preconditioner's last apply(): the sweeps read the
+/// off-diagonal values in place rather than copying them.
+class SsorPreconditioner final : public Preconditioner {
+ public:
+  explicit SsorPreconditioner(double omega = 1.0);
+  void factor(const SparseMatrix& a) override;
+  void refactor(const SparseMatrix& a) override;
+  void apply(const std::vector<double>& r, std::vector<double>& z) const override;
+  const char* name() const override { return "ssor"; }
+
+ private:
+  double omega_;
+  const SparseMatrix* a_ = nullptr;
+  std::vector<size_t> diag_idx_;       ///< CSR position of each row's diagonal
+  std::vector<double> omega_inv_diag_; ///< w / d_i
+  mutable std::vector<double> t_;      ///< forward-sweep scratch
+};
+
+/// Zero-fill incomplete Cholesky: A ~= L L^T with L restricted to the
+/// sparsity of lower(A). On breakdown (a non-positive pivot, possible for
+/// SPD matrices that are not M-matrices) the factorization restarts with
+/// an escalating diagonal shift A + alpha*diag(A) until every pivot is
+/// positive (Manteuffel's shifted IC).
+///
+/// `drop_compensation` in [0, 1] blends in modified-IC behavior: fill the
+/// pattern drops is moved onto the two affected diagonals instead of
+/// being discarded, which preserves row sums (the MIC property) and cuts
+/// the condition number of the preconditioned Laplacian from O(h^-2) to
+/// O(h^-1). 0 = classic IC(0), 1 = full MIC(0); the relaxed default 0.95
+/// is the usual robustness compromise (full MIC can drive the last pivots
+/// toward zero on near-singular rows — the shift fallback then engages).
+///
+/// factor() builds the L and L^T patterns plus an index map into A's value
+/// array; refactor() re-runs only the numeric loop on the stored pattern —
+/// valid whenever the pattern is unchanged, in particular for the Newton
+/// diagonal updates.
+class IncompleteCholesky final : public Preconditioner {
+ public:
+  explicit IncompleteCholesky(double drop_compensation = 0.95);
+  void factor(const SparseMatrix& a) override;
+  void refactor(const SparseMatrix& a) override;
+  void apply(const std::vector<double>& r, std::vector<double>& z) const override;
+  const char* name() const override { return "ic0"; }
+
+  /// Diagonal shift (relative to diag(A)) the last factorization needed;
+  /// 0 when IC(0) succeeded unshifted.
+  double diagonal_shift() const { return shift_; }
+
+ private:
+  void refactor_numeric(const SparseMatrix& a);
+
+  double theta_;  ///< drop-compensation weight (0 = IC, 1 = MIC)
+  size_t n_ = 0;
+  // L in CSR, rows sorted, diagonal last in each row.
+  std::vector<size_t> lrow_ptr_, lcol_;
+  std::vector<double> lval_;
+  std::vector<size_t> amap_;  ///< L entry -> index into a.values()
+  // Strict upper part of L^T in CSR (for the backward sweep), plus the map
+  // from each L^T entry back to its L entry so one numeric pass fills both.
+  std::vector<size_t> urow_ptr_, ucol_, umap_;
+  std::vector<double> uval_;
+  std::vector<double> inv_ldiag_;
+  mutable std::vector<double> y_;  ///< forward-sweep scratch
+  double shift_ = 0.0;
+};
+
+enum class PreconditionerKind { kJacobi, kSsor, kIc0 };
+
+/// Parses "jacobi" | "ssor" | "ic0"; throws std::invalid_argument otherwise.
+PreconditionerKind preconditioner_kind_from_string(const std::string& s);
+
+const char* to_string(PreconditionerKind kind);
+
+std::unique_ptr<Preconditioner> make_preconditioner(PreconditionerKind kind);
+
+}  // namespace gnrfet::linalg

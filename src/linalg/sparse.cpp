@@ -45,7 +45,7 @@ SparseMatrix::SparseMatrix(const SparseBuilder& b) {
 void SparseMatrix::multiply(const std::vector<double>& x, std::vector<double>& y) const {
   const size_t n = dim();
   if (x.size() != n) throw std::invalid_argument("SparseMatrix::multiply: size mismatch");
-  y.assign(n, 0.0);
+  y.resize(n);  // every entry is overwritten below; no need to zero-fill
   for (size_t row = 0; row < n; ++row) {
     double s = 0.0;
     for (size_t k = row_ptr_[row]; k < row_ptr_[row + 1]; ++k) {
@@ -68,6 +68,20 @@ void SparseMatrix::add_to_diagonal(size_t row, double value) {
     throw std::out_of_range("SparseMatrix::add_to_diagonal: no diagonal entry");
   }
   values_[static_cast<size_t>(diag_pos_[row])] += value;
+}
+
+void SparseMatrix::set_diagonal(size_t row, double value) {
+  if (row >= dim() || diag_pos_[row] < 0) {
+    throw std::out_of_range("SparseMatrix::set_diagonal: no diagonal entry");
+  }
+  values_[static_cast<size_t>(diag_pos_[row])] = value;
+}
+
+void SparseMatrix::restore_values(const std::vector<double>& values) {
+  if (values.size() != values_.size()) {
+    throw std::invalid_argument("SparseMatrix::restore_values: nonzero count mismatch");
+  }
+  values_ = values;
 }
 
 }  // namespace gnrfet::linalg

@@ -44,6 +44,23 @@ class SparseMatrix {
   /// without re-assembling the Laplacian.
   void add_to_diagonal(size_t row, double value);
 
+  /// Overwrite the diagonal entry of `row` (same existence rule as
+  /// add_to_diagonal). Lets a persistent Jacobian copy be retargeted each
+  /// Newton iteration — diag(A) + charge term — without rebuilding or
+  /// restoring the full value array.
+  void set_diagonal(size_t row, double value);
+
+  /// Diagonal entry of `row`, or 0 when absent.
+  double diagonal_at(size_t row) const {
+    return diag_pos_[row] >= 0 ? values_[static_cast<size_t>(diag_pos_[row])] : 0.0;
+  }
+
+  /// Overwrite every stored value while keeping the sparsity pattern.
+  /// `values` must match the current nonzero count; throws otherwise.
+  /// Pairs with values(): snapshot a pristine operator once, then restore
+  /// it after diagonal edits instead of copying the whole matrix.
+  void restore_values(const std::vector<double>& values);
+
   const std::vector<size_t>& row_ptr() const { return row_ptr_; }
   const std::vector<size_t>& col_idx() const { return col_idx_; }
   const std::vector<double>& values() const { return values_; }

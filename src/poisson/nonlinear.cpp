@@ -1,36 +1,20 @@
 #include "poisson/nonlinear.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <stdexcept>
-
-#include "common/contracts.hpp"
-#include "common/metrics.hpp"
-#include "common/strings.hpp"
-#include "common/trace.hpp"
-#include "linalg/pcg.hpp"
+#include "poisson/solver.hpp"
 
 namespace gnrfet::poisson {
 
-namespace {
-double clamped_exp(double x) { return std::exp(std::clamp(x, -30.0, 30.0)); }
-}  // namespace
+// Thin wrappers: both entry points construct a transient PoissonSolver
+// (preconditioner from GNRFET_POISSON_PC). Hot loops that solve the same
+// assembly repeatedly should hold a PoissonSolver instead — it keeps the
+// Jacobian, preconditioner factorization, and PCG workspace alive across
+// solves (see poisson/solver.hpp).
 
 std::vector<double> solve_linear_poisson(const Assembly& assembly,
                                          const std::vector<double>& electrode_voltages,
                                          const std::vector<double>& rho_e) {
-  trace::Span span("poisson", "solve_linear_poisson");
-  GNRFET_REQUIRE("poisson", "finite-charge", contracts::all_finite(rho_e),
-                 "charge density contains NaN/inf");
-  GNRFET_REQUIRE("poisson", "finite-boundary", contracts::all_finite(electrode_voltages),
-                 "electrode voltages contain NaN/inf");
-  const std::vector<double> b = assembly.rhs(electrode_voltages, rho_e);
-  std::vector<double> x(assembly.num_free(), 0.0);
-  const auto res = linalg::pcg_solve(assembly.matrix(), b, x);
-  if (!res.converged) {
-    throw std::runtime_error("solve_linear_poisson: PCG did not converge");
-  }
-  return assembly.expand(x, electrode_voltages);
+  PoissonSolver solver(assembly);
+  return solver.solve_linear(electrode_voltages, rho_e);
 }
 
 NonlinearResult solve_nonlinear_poisson(const Assembly& assembly,
@@ -41,119 +25,9 @@ NonlinearResult solve_nonlinear_poisson(const Assembly& assembly,
                                         const std::vector<double>& phi_ref_full,
                                         const std::vector<double>& phi_init_full,
                                         const NonlinearOptions& opts) {
-  trace::Span span("poisson", "solve_nonlinear_poisson");
-  const size_t n_nodes = phi_ref_full.size();
-  if (n0_e.size() != n_nodes || p0_e.size() != n_nodes || rho_fixed_e.size() != n_nodes ||
-      phi_init_full.size() != n_nodes) {
-    throw std::invalid_argument("solve_nonlinear_poisson: field size mismatch");
-  }
-  GNRFET_REQUIRE("poisson", "finite-charge",
-                 contracts::all_finite(n0_e) && contracts::all_finite(p0_e) &&
-                     contracts::all_finite(rho_fixed_e),
-                 "nodal charge populations contain NaN/inf (poisoned NEGF output?)");
-  GNRFET_REQUIRE("poisson", "finite-potential",
-                 contracts::all_finite(phi_ref_full) && contracts::all_finite(phi_init_full) &&
-                     contracts::all_finite(electrode_voltages),
-                 "reference/initial potential or electrode voltages contain NaN/inf");
-  const double vt = opts.thermal_voltage_V;
-
-  // Work on free nodes only.
-  std::vector<double> phi = assembly.restrict_to_free(phi_init_full);
-  const std::vector<double> phi_ref = assembly.restrict_to_free(phi_ref_full);
-  const std::vector<double> n0 = assembly.restrict_to_free(n0_e);
-  const std::vector<double> p0 = assembly.restrict_to_free(p0_e);
-  const size_t nf = assembly.num_free();
-
-  NonlinearResult result;
-  std::vector<double> rho_full(n_nodes, 0.0);
-  std::vector<double> residual(nf), ax(nf), delta(nf, 0.0);
-
-  // Trust-region-like damping: the clamp protects the exponential charge
-  // linearization, but grows when Newton keeps pushing monotonically in
-  // the same direction (e.g. unscreened far-field potentials), so large
-  // linear excursions still converge.
-  double clamp = opts.max_step_V;
-  int saturated_steps = 0;
-#if GNRFET_CHECKS_ENABLED
-  double f_min = 0.0;  // smallest residual norm seen so far
-#endif
-
-  for (int it = 0; it < opts.max_newton_iterations; ++it) {
-    // Residual F = A phi - b(V, q(phi)); b folds Dirichlet links + charge.
-    std::vector<double> q(nf);
-    std::vector<double> dq_dphi(nf);
-    for (size_t f = 0; f < nf; ++f) {
-      const double en = clamped_exp((phi[f] - phi_ref[f]) / vt);
-      const double ep = clamped_exp(-(phi[f] - phi_ref[f]) / vt);
-      q[f] = -n0[f] * en + p0[f] * ep;
-      dq_dphi[f] = -(n0[f] * en + p0[f] * ep) / vt;  // <= 0
-    }
-    // Assemble b with fixed charge only, then add q on free nodes.
-    const std::vector<double> b_fixed = assembly.rhs(electrode_voltages, rho_fixed_e);
-    assembly.matrix().multiply(phi, ax);
-    double f_norm = 0.0;
-    for (size_t f = 0; f < nf; ++f) {
-      residual[f] = ax[f] - b_fixed[f] - q[f];
-      f_norm = std::max(f_norm, std::abs(residual[f]));
-    }
-    // The damped Newton residual must stay finite and must not run away
-    // from the best residual seen so far: growth beyond the slack factor
-    // means the linearization is diverging, and every later Gummel
-    // iteration would silently inherit the junk potential.
-    GNRFET_CHECK_FINITE("poisson", "finite-residual", f_norm);
-#if GNRFET_CHECKS_ENABLED
-    if (it == 0) {
-      f_min = f_norm;
-    } else {
-      GNRFET_REQUIRE("poisson", "residual-bounded", f_norm <= 1e4 * f_min + 1e-12,
-                     strings::format("Newton iteration %d: residual %g vs best %g", it, f_norm,
-                                     f_min));
-      f_min = std::min(f_min, f_norm);
-    }
-#endif
-    // Newton system: (A - diag(dq/dphi)) delta = -F. The diagonal term is
-    // added as a copy of the matrix (cheap: values only).
-    linalg::SparseMatrix jac = assembly.matrix();
-    for (size_t f = 0; f < nf; ++f) jac.add_to_diagonal(f, -dq_dphi[f]);
-    std::vector<double> rhs(nf);
-    for (size_t f = 0; f < nf; ++f) rhs[f] = -residual[f];
-    std::fill(delta.begin(), delta.end(), 0.0);
-    linalg::PcgOptions pcg_opts;
-    pcg_opts.rel_tolerance = 1e-9;
-    const auto pcg = linalg::pcg_solve(jac, rhs, delta, pcg_opts);
-    if (!pcg.converged) {
-      throw std::runtime_error("solve_nonlinear_poisson: inner PCG did not converge");
-    }
-    double max_update = 0.0;
-    double max_raw = 0.0;
-    for (size_t f = 0; f < nf; ++f) {
-      const double d = std::clamp(delta[f], -clamp, clamp);
-      phi[f] += d;
-      max_update = std::max(max_update, std::abs(d));
-      max_raw = std::max(max_raw, std::abs(delta[f]));
-    }
-    if (max_raw > clamp) {
-      if (++saturated_steps >= 2 && clamp < 4.0) {
-        clamp *= 2.0;
-        saturated_steps = 0;
-      }
-    } else {
-      saturated_steps = 0;
-      clamp = opts.max_step_V;
-    }
-    result.iterations = it + 1;
-    result.last_update_V = max_update;
-    if (max_update < opts.tolerance_V) {
-      result.converged = true;
-      break;
-    }
-  }
-  metrics::add(metrics::Counter::kPoissonNewtonIterations,
-               static_cast<uint64_t>(result.iterations));
-  metrics::observe(metrics::Histogram::kNewtonIterationsPerSolve,
-                   static_cast<double>(result.iterations));
-  result.phi_full = assembly.expand(phi, electrode_voltages);
-  return result;
+  PoissonSolver solver(assembly);
+  return solver.solve_nonlinear(electrode_voltages, n0_e, p0_e, rho_fixed_e, phi_ref_full,
+                                phi_init_full, opts);
 }
 
 }  // namespace gnrfet::poisson

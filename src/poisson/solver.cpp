@@ -1,0 +1,203 @@
+#include "poisson/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+#include "common/env.hpp"
+#include "common/metrics.hpp"
+#include "common/strings.hpp"
+#include "common/trace.hpp"
+
+namespace gnrfet::poisson {
+
+namespace {
+double clamped_exp(double x) { return std::exp(std::clamp(x, -30.0, 30.0)); }
+}  // namespace
+
+linalg::PreconditionerKind preconditioner_kind_from_env() {
+  return linalg::preconditioner_kind_from_string(common::env_or("GNRFET_POISSON_PC", "ic0"));
+}
+
+PoissonSolver::PoissonSolver(const Assembly& assembly)
+    : PoissonSolver(assembly, preconditioner_kind_from_env()) {}
+
+PoissonSolver::PoissonSolver(const Assembly& assembly, linalg::PreconditionerKind kind)
+    : assembly_(assembly),
+      kind_(kind),
+      precond_(linalg::make_preconditioner(kind)),
+      jac_(assembly.matrix()),
+      base_diag_(assembly.matrix().diagonal()) {
+  const size_t nf = assembly_.num_free();
+  delta_.assign(nf, 0.0);
+  residual_.resize(nf);
+  ax_.resize(nf);
+  rhs_.resize(nf);
+  q_.resize(nf);
+  dq_dphi_.resize(nf);
+}
+
+void PoissonSolver::reset_jacobian() {
+  for (size_t f = 0; f < assembly_.num_free(); ++f) jac_.set_diagonal(f, base_diag_[f]);
+  precond_->refactor(jac_);
+}
+
+std::vector<double> PoissonSolver::solve_linear(const std::vector<double>& electrode_voltages,
+                                                const std::vector<double>& rho_e) {
+  trace::Span span("poisson", "solve_linear_poisson");
+  GNRFET_REQUIRE("poisson", "finite-charge", contracts::all_finite(rho_e),
+                 "charge density contains NaN/inf");
+  GNRFET_REQUIRE("poisson", "finite-boundary", contracts::all_finite(electrode_voltages),
+                 "electrode voltages contain NaN/inf");
+  const std::vector<double> b = assembly_.rhs(electrode_voltages, rho_e);
+  reset_jacobian();  // jac_ back to the pristine Laplacian
+  std::vector<double> x(assembly_.num_free(), 0.0);
+  linalg::PcgOptions opts;
+  opts.preconditioner = precond_.get();
+  opts.workspace = &pcg_ws_;
+  // The jacobi baseline is pinned bit-for-bit to the pre-preconditioner
+  // solver, which accumulated dots strictly left-to-right.
+  opts.sum_order = kind_ == linalg::PreconditionerKind::kJacobi
+                       ? linalg::kernels::SumOrder::kSequential
+                       : linalg::kernels::SumOrder::kPairwise;
+  const auto res = linalg::pcg_solve(jac_, b, x, opts);
+  if (!res.converged) {
+    throw std::runtime_error("solve_linear_poisson: PCG did not converge");
+  }
+  return assembly_.expand(x, electrode_voltages);
+}
+
+NonlinearResult PoissonSolver::solve_nonlinear(const std::vector<double>& electrode_voltages,
+                                               const std::vector<double>& n0_e,
+                                               const std::vector<double>& p0_e,
+                                               const std::vector<double>& rho_fixed_e,
+                                               const std::vector<double>& phi_ref_full,
+                                               const std::vector<double>& phi_init_full,
+                                               const NonlinearOptions& opts) {
+  trace::Span span("poisson", "solve_nonlinear_poisson");
+  const size_t n_nodes = phi_ref_full.size();
+  if (n0_e.size() != n_nodes || p0_e.size() != n_nodes || rho_fixed_e.size() != n_nodes ||
+      phi_init_full.size() != n_nodes) {
+    throw std::invalid_argument("solve_nonlinear_poisson: field size mismatch");
+  }
+  GNRFET_REQUIRE("poisson", "finite-charge",
+                 contracts::all_finite(n0_e) && contracts::all_finite(p0_e) &&
+                     contracts::all_finite(rho_fixed_e),
+                 "nodal charge populations contain NaN/inf (poisoned NEGF output?)");
+  GNRFET_REQUIRE("poisson", "finite-potential",
+                 contracts::all_finite(phi_ref_full) && contracts::all_finite(phi_init_full) &&
+                     contracts::all_finite(electrode_voltages),
+                 "reference/initial potential or electrode voltages contain NaN/inf");
+  const double vt = opts.thermal_voltage_V;
+  const bool baseline = kind_ == linalg::PreconditionerKind::kJacobi;
+
+  // Work on free nodes only.
+  std::vector<double> phi = assembly_.restrict_to_free(phi_init_full);
+  const std::vector<double> phi_ref = assembly_.restrict_to_free(phi_ref_full);
+  const std::vector<double> n0 = assembly_.restrict_to_free(n0_e);
+  const std::vector<double> p0 = assembly_.restrict_to_free(p0_e);
+  const size_t nf = assembly_.num_free();
+
+  NonlinearResult result;
+
+  // The assembled right-hand side depends only on the boundary voltages
+  // and the fixed charge, both invariant across the Newton loop: assemble
+  // it once per solve instead of once per iteration.
+  const std::vector<double> b_fixed = assembly_.rhs(electrode_voltages, rho_fixed_e);
+
+  // Warm-starting the inner PCG from the previous Newton update pays off
+  // because consecutive Newton systems differ only by a shrinking
+  // diagonal term; the baseline path keeps the historical zero start.
+  std::fill(delta_.begin(), delta_.end(), 0.0);
+
+  linalg::PcgOptions pcg_opts;
+  pcg_opts.rel_tolerance = 1e-9;
+  pcg_opts.preconditioner = precond_.get();
+  pcg_opts.workspace = &pcg_ws_;
+  pcg_opts.sum_order = baseline ? linalg::kernels::SumOrder::kSequential
+                                : linalg::kernels::SumOrder::kPairwise;
+
+  // Trust-region-like damping: the clamp protects the exponential charge
+  // linearization, but grows when Newton keeps pushing monotonically in
+  // the same direction (e.g. unscreened far-field potentials), so large
+  // linear excursions still converge.
+  double clamp = opts.max_step_V;
+  int saturated_steps = 0;
+#if GNRFET_CHECKS_ENABLED
+  double f_min = 0.0;  // smallest residual norm seen so far
+#endif
+
+  for (int it = 0; it < opts.max_newton_iterations; ++it) {
+    // Residual F = A phi - b(V, q(phi)); b folds Dirichlet links + charge.
+    for (size_t f = 0; f < nf; ++f) {
+      const double en = clamped_exp((phi[f] - phi_ref[f]) / vt);
+      const double ep = clamped_exp(-(phi[f] - phi_ref[f]) / vt);
+      q_[f] = -n0[f] * en + p0[f] * ep;
+      dq_dphi_[f] = -(n0[f] * en + p0[f] * ep) / vt;  // <= 0
+    }
+    assembly_.matrix().multiply(phi, ax_);
+    double f_norm = 0.0;
+    for (size_t f = 0; f < nf; ++f) {
+      residual_[f] = ax_[f] - b_fixed[f] - q_[f];
+      f_norm = std::max(f_norm, std::abs(residual_[f]));
+    }
+    // The damped Newton residual must stay finite and must not run away
+    // from the best residual seen so far: growth beyond the slack factor
+    // means the linearization is diverging, and every later Gummel
+    // iteration would silently inherit the junk potential.
+    GNRFET_CHECK_FINITE("poisson", "finite-residual", f_norm);
+#if GNRFET_CHECKS_ENABLED
+    if (it == 0) {
+      f_min = f_norm;
+    } else {
+      GNRFET_REQUIRE("poisson", "residual-bounded", f_norm <= 1e4 * f_min + 1e-12,
+                     strings::format("Newton iteration %d: residual %g vs best %g", it, f_norm,
+                                     f_min));
+      f_min = std::min(f_min, f_norm);
+    }
+#endif
+    // Newton system: (A - diag(dq/dphi)) delta = -F. The persistent
+    // Jacobian copy is retargeted diagonal-only (the off-diagonals never
+    // change), and the preconditioner refreshes numerically in place.
+    for (size_t f = 0; f < nf; ++f) jac_.set_diagonal(f, base_diag_[f] - dq_dphi_[f]);
+    precond_->refactor(jac_);
+    for (size_t f = 0; f < nf; ++f) rhs_[f] = -residual_[f];
+    if (baseline) std::fill(delta_.begin(), delta_.end(), 0.0);
+    const auto pcg = linalg::pcg_solve(jac_, rhs_, delta_, pcg_opts);
+    if (!pcg.converged) {
+      throw std::runtime_error("solve_nonlinear_poisson: inner PCG did not converge");
+    }
+    double max_update = 0.0;
+    double max_raw = 0.0;
+    for (size_t f = 0; f < nf; ++f) {
+      const double d = std::clamp(delta_[f], -clamp, clamp);
+      phi[f] += d;
+      max_update = std::max(max_update, std::abs(d));
+      max_raw = std::max(max_raw, std::abs(delta_[f]));
+    }
+    if (max_raw > clamp) {
+      if (++saturated_steps >= 2 && clamp < 4.0) {
+        clamp *= 2.0;
+        saturated_steps = 0;
+      }
+    } else {
+      saturated_steps = 0;
+      clamp = opts.max_step_V;
+    }
+    result.iterations = it + 1;
+    result.last_update_V = max_update;
+    if (max_update < opts.tolerance_V) {
+      result.converged = true;
+      break;
+    }
+  }
+  metrics::add(metrics::Counter::kPoissonNewtonIterations,
+               static_cast<uint64_t>(result.iterations));
+  metrics::observe(metrics::Histogram::kNewtonIterationsPerSolve,
+                   static_cast<double>(result.iterations));
+  result.phi_full = assembly_.expand(phi, electrode_voltages);
+  return result;
+}
+
+}  // namespace gnrfet::poisson

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <memory>
+
+#include "linalg/pcg.hpp"
+#include "linalg/preconditioner.hpp"
+#include "poisson/assembly.hpp"
+#include "poisson/nonlinear.hpp"
+
+/// Reusable linear/nonlinear Poisson solver around one Assembly.
+///
+/// The self-consistent loop solves the same sparsity pattern at every
+/// Newton iteration of every Gummel iteration of every bias point; this
+/// object keeps everything that survives between those solves:
+///
+///  - a persistent Jacobian copy of the Laplacian whose diagonal is
+///    retargeted in place each Newton iteration (diag(A) + charge term) —
+///    no full SparseMatrix copy per iteration,
+///  - the preconditioner factorization, numerically refreshed via
+///    Preconditioner::refactor() because only the diagonal moved,
+///  - the PCG workspace vectors and every Newton-loop scratch vector,
+///  - the previous Newton update, which warm-starts the next inner PCG.
+///
+/// The preconditioner is chosen by GNRFET_POISSON_PC (jacobi | ssor |
+/// ic0; default ic0). `jacobi` is the pinned pre-preconditioner baseline:
+/// it zero-starts every inner PCG and uses the legacy sequential
+/// summation order, so its outputs are bit-identical to the historical
+/// solver. One PoissonSolver is used by one thread at a time; create one
+/// per concurrent solve (the thread-pool parallelism is across solves).
+namespace gnrfet::poisson {
+
+/// GNRFET_POISSON_PC, defaulting to ic0; throws on unknown values.
+linalg::PreconditionerKind preconditioner_kind_from_env();
+
+class PoissonSolver {
+ public:
+  explicit PoissonSolver(const Assembly& assembly);
+  PoissonSolver(const Assembly& assembly, linalg::PreconditionerKind kind);
+
+  linalg::PreconditionerKind kind() const { return kind_; }
+
+  /// Nonlinear (exponentially screened) solve; see nonlinear.hpp for the
+  /// field conventions.
+  NonlinearResult solve_nonlinear(const std::vector<double>& electrode_voltages,
+                                  const std::vector<double>& n0_e,
+                                  const std::vector<double>& p0_e,
+                                  const std::vector<double>& rho_fixed_e,
+                                  const std::vector<double>& phi_ref_full,
+                                  const std::vector<double>& phi_init_full,
+                                  const NonlinearOptions& opts = {});
+
+  /// Plain linear solve (no mobile charge).
+  std::vector<double> solve_linear(const std::vector<double>& electrode_voltages,
+                                   const std::vector<double>& rho_e);
+
+ private:
+  /// Restore the persistent Jacobian to the pristine Laplacian diagonal
+  /// and refresh the preconditioner.
+  void reset_jacobian();
+
+  const Assembly& assembly_;
+  linalg::PreconditionerKind kind_;
+  std::unique_ptr<linalg::Preconditioner> precond_;
+  linalg::SparseMatrix jac_;        ///< persistent copy; only its diagonal moves
+  std::vector<double> base_diag_;   ///< diag(A) of the pristine operator
+  linalg::PcgWorkspace pcg_ws_;
+  // Newton-loop scratch, allocated once.
+  std::vector<double> delta_, residual_, ax_, rhs_, q_, dq_dphi_;
+};
+
+}  // namespace gnrfet::poisson

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/metrics.hpp"
+#include "common/parallel.hpp"
+#include "poisson/assembly.hpp"
+#include "poisson/grid.hpp"
+#include "poisson/nonlinear.hpp"
+#include "poisson/solver.hpp"
+
+namespace {
+
+using namespace gnrfet;
+using linalg::PreconditionerKind;
+
+/// FNV-1a over the raw double bytes: any single-bit difference anywhere in
+/// the field changes the hash, which is exactly the bit-compat contract.
+uint64_t fnv1a(const std::vector<double>& v) {
+  uint64_t h = 1469598103934665603ull;
+  for (const double d : v) {
+    unsigned char b[sizeof(double)];
+    std::memcpy(b, &d, sizeof(double));
+    for (const unsigned char c : b) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+/// Scoped GNRFET_POISSON_PC override that restores the prior state, so the
+/// single-process `ctest -L fast` run sees no cross-test pollution.
+class PcEnvGuard {
+ public:
+  explicit PcEnvGuard(const char* value) : was_set_(common::env_set("GNRFET_POISSON_PC")) {
+    if (was_set_) previous_ = common::env_or("GNRFET_POISSON_PC", "");
+    if (value) {
+      ::setenv("GNRFET_POISSON_PC", value, 1);
+    } else {
+      ::unsetenv("GNRFET_POISSON_PC");
+    }
+  }
+  ~PcEnvGuard() {
+    if (was_set_) {
+      ::setenv("GNRFET_POISSON_PC", previous_.c_str(), 1);
+    } else {
+      ::unsetenv("GNRFET_POISSON_PC");
+    }
+  }
+
+ private:
+  bool was_set_;
+  std::string previous_;
+};
+
+/// The golden nonlinear problem: a 7^3 grid with one grounded/biased
+/// electrode plane, a deposited fixed charge, and point electron/hole
+/// populations. Identical to the pre-PR capture run that produced the
+/// hashes in the Golden tests below.
+struct GoldenProblem {
+  poisson::GridSpec g;
+  poisson::Domain domain;
+  poisson::Assembly assembly;
+  std::vector<double> zero, fixed, n0, p0;
+
+  GoldenProblem() : g(make_grid()), domain(g), assembly((setup(domain), domain)) {
+    zero.assign(g.num_nodes(), 0.0);
+    fixed.assign(g.num_nodes(), 0.0);
+    domain.deposit_charge(g.x(3), g.y(3), g.z(3), 2.0, fixed);
+    n0.assign(g.num_nodes(), 0.0);
+    n0[g.index(3, 3, 3)] = 1.0;
+    n0[g.index(2, 3, 4)] = 0.25;
+    p0.assign(g.num_nodes(), 0.0);
+    p0[g.index(4, 4, 2)] = 0.5;
+  }
+
+  static poisson::GridSpec make_grid() {
+    poisson::GridSpec g;
+    g.nx = g.ny = g.nz = 7;
+    g.dx = g.dy = g.dz = 0.3;
+    return g;
+  }
+  static void setup(poisson::Domain& d) { d.add_electrode({-1, 10, -1, 10, -0.001, 0.001}); }
+};
+
+TEST(PoissonSolverGolden, JacobiModeBitIdenticalToPrePreconditionerSolver) {
+  // Regression pin: with GNRFET_POISSON_PC=jacobi the refactored solver
+  // (persistent Jacobian, reused workspace, hoisted rhs) must reproduce
+  // the historical solve_nonlinear_poisson output bit-for-bit. The hashes
+  // and hexfloat samples below were captured from the pre-PR solver.
+  PcEnvGuard guard("jacobi");
+  GoldenProblem p;
+
+  const auto r1 =
+      poisson::solve_nonlinear_poisson(p.assembly, {0.0}, p.n0, p.p0, p.fixed, p.zero, p.zero);
+  ASSERT_TRUE(r1.converged);
+  EXPECT_EQ(r1.iterations, 8);
+  EXPECT_EQ(fnv1a(r1.phi_full), 0x69dec6d0d6ca8097ull);
+  EXPECT_EQ(r1.phi_full[0], 0x0p+0);
+  EXPECT_EQ(r1.phi_full[171], 0x1.2533f9f746e84p-6);
+  EXPECT_EQ(r1.phi_full[342], 0x1.16d44cb7c59fp-9);
+  EXPECT_EQ(r1.last_update_V, 0x1.3b1f38b489b31p-23);
+
+  const auto r2 = poisson::solve_nonlinear_poisson(p.assembly, {0.3}, p.n0, p.p0, p.fixed,
+                                                   r1.phi_full, r1.phi_full);
+  ASSERT_TRUE(r2.converged);
+  EXPECT_EQ(r2.iterations, 9);
+  EXPECT_EQ(fnv1a(r2.phi_full), 0xf0b51fccb8090bcdull);
+  EXPECT_EQ(r2.phi_full[0], 0x1.3333333333333p-2);
+  EXPECT_EQ(r2.phi_full[171], 0x1.2664ae1096da9p-5);
+  EXPECT_EQ(r2.phi_full[342], 0x1.71efa03f355f7p-3);
+  EXPECT_EQ(r2.last_update_V, 0x1.23b544c5ff0aap-26);
+}
+
+TEST(PoissonSolver, EnvKnobSelectsPreconditioner) {
+  GoldenProblem p;
+  {
+    PcEnvGuard guard(nullptr);  // unset -> default
+    EXPECT_EQ(poisson::preconditioner_kind_from_env(), PreconditionerKind::kIc0);
+  }
+  {
+    PcEnvGuard guard("jacobi");
+    EXPECT_EQ(poisson::PoissonSolver(p.assembly).kind(), PreconditionerKind::kJacobi);
+  }
+  {
+    PcEnvGuard guard("ssor");
+    EXPECT_EQ(poisson::PoissonSolver(p.assembly).kind(), PreconditionerKind::kSsor);
+  }
+  {
+    PcEnvGuard guard("lucky-guess");
+    EXPECT_THROW(poisson::preconditioner_kind_from_env(), std::invalid_argument);
+  }
+}
+
+TEST(PoissonSolver, PreconditionersAgreeOnNonlinearFixedPoint) {
+  // Different preconditioners change the inner-PCG iteration path, not the
+  // Newton fixed point: all three must land on the same potential far
+  // below the 1e-5 V Newton tolerance.
+  GoldenProblem p;
+  std::vector<std::vector<double>> phis;
+  for (const auto kind :
+       {PreconditionerKind::kJacobi, PreconditionerKind::kSsor, PreconditionerKind::kIc0}) {
+    poisson::PoissonSolver solver(p.assembly, kind);
+    auto res = solver.solve_nonlinear({0.0}, p.n0, p.p0, p.fixed, p.zero, p.zero);
+    ASSERT_TRUE(res.converged);
+    phis.push_back(std::move(res.phi_full));
+  }
+  for (size_t i = 0; i < phis[0].size(); ++i) {
+    EXPECT_NEAR(phis[1][i], phis[0][i], 1e-9);
+    EXPECT_NEAR(phis[2][i], phis[0][i], 1e-9);
+  }
+}
+
+TEST(PoissonSolver, ReusedSolverSequenceIsDeterministic) {
+  // One PoissonSolver carries state between solves (warm-started delta,
+  // refactored preconditioner, reused workspace); two instances fed the
+  // same solve sequence must stay bit-identical at every step, and the
+  // first solve must match the transient free-function path.
+  GoldenProblem p;
+  poisson::PoissonSolver a(p.assembly, PreconditionerKind::kIc0);
+  poisson::PoissonSolver b(p.assembly, PreconditionerKind::kIc0);
+
+  const auto a1 = a.solve_nonlinear({0.0}, p.n0, p.p0, p.fixed, p.zero, p.zero);
+  const auto b1 = b.solve_nonlinear({0.0}, p.n0, p.p0, p.fixed, p.zero, p.zero);
+  ASSERT_TRUE(a1.converged);
+  EXPECT_EQ(fnv1a(a1.phi_full), fnv1a(b1.phi_full));
+  {
+    PcEnvGuard guard("ic0");
+    const auto free1 =
+        poisson::solve_nonlinear_poisson(p.assembly, {0.0}, p.n0, p.p0, p.fixed, p.zero, p.zero);
+    EXPECT_EQ(fnv1a(free1.phi_full), fnv1a(a1.phi_full));
+  }
+
+  const auto a2 =
+      a.solve_nonlinear({0.3}, p.n0, p.p0, p.fixed, a1.phi_full, a1.phi_full);
+  const auto b2 =
+      b.solve_nonlinear({0.3}, p.n0, p.p0, p.fixed, b1.phi_full, b1.phi_full);
+  ASSERT_TRUE(a2.converged);
+  EXPECT_EQ(fnv1a(a2.phi_full), fnv1a(b2.phi_full));
+}
+
+TEST(PoissonSolver, SolveRecordsPreconditionerMetrics) {
+  GoldenProblem p;
+  const auto before = metrics::snapshot();
+  poisson::PoissonSolver solver(p.assembly, PreconditionerKind::kIc0);
+  const auto res = solver.solve_nonlinear({0.0}, p.n0, p.p0, p.fixed, p.zero, p.zero);
+  ASSERT_TRUE(res.converged);
+  const auto after = metrics::snapshot();
+  EXPECT_GT(after.counters[static_cast<size_t>(metrics::Counter::kPcgPrecondSetups)],
+            before.counters[static_cast<size_t>(metrics::Counter::kPcgPrecondSetups)]);
+  EXPECT_GT(after.histograms[static_cast<size_t>(metrics::Histogram::kPcgIterationsIc0)].count,
+            before.histograms[static_cast<size_t>(metrics::Histogram::kPcgIterationsIc0)].count);
+}
+
+TEST(PoissonSolverParallel, ConcurrentSolversMatchSerialBitForBit) {
+  // The thread-pool parallelism is across solves: each worker owns its own
+  // PoissonSolver. Concurrent solves over distinct bias points must be
+  // bit-identical to the serial run (also the TSan target for this layer).
+  GoldenProblem p;
+  constexpr size_t kCases = 6;
+  std::vector<uint64_t> serial(kCases);
+  for (size_t i = 0; i < kCases; ++i) {
+    poisson::PoissonSolver solver(p.assembly, PreconditionerKind::kIc0);
+    const auto res = solver.solve_nonlinear({0.05 * static_cast<double>(i)}, p.n0, p.p0, p.fixed,
+                                            p.zero, p.zero);
+    ASSERT_TRUE(res.converged);
+    serial[i] = fnv1a(res.phi_full);
+  }
+
+  const int prev_threads = par::thread_count();
+  par::set_thread_count(4);
+  std::vector<uint64_t> parallel(kCases, 0);
+  par::parallel_for(kCases, [&](size_t i) {
+    poisson::PoissonSolver solver(p.assembly, PreconditionerKind::kIc0);
+    const auto res = solver.solve_nonlinear({0.05 * static_cast<double>(i)}, p.n0, p.p0, p.fixed,
+                                            p.zero, p.zero);
+    parallel[i] = res.converged ? fnv1a(res.phi_full) : 0;
+  });
+  par::set_thread_count(prev_threads);
+
+  for (size_t i = 0; i < kCases; ++i) EXPECT_EQ(parallel[i], serial[i]) << "case " << i;
+}
+
+}  // namespace

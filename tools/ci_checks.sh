@@ -8,6 +8,9 @@
 #               the tier-1 suite must still pass without the contract layer
 #   trace     fast suite under GNRFET_TRACE: the emitted Chrome trace JSON
 #             must parse and summarize through gnrfet_trace_report
+#   perf-smoke  Poisson PCG microbench on a reduced grid under every
+#               preconditioner; asserts IC(0) needs fewer total iterations
+#               than Jacobi (the point of the fast-solver work)
 #   tidy      clang-tidy over all translation units (skipped when clang-tidy
 #             is not installed)
 #
@@ -23,7 +26,7 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(werror asan-ubsan tsan checks-off trace tidy)
+  STAGES=(werror asan-ubsan tsan checks-off trace perf-smoke tidy)
 fi
 
 banner() { printf '\n=== ci_checks: %s ===\n' "$1"; }
@@ -78,6 +81,32 @@ for stage in "${STAGES[@]}"; do
       done
       "$ROOT/build-ci-trace/tools/gnrfet_trace_report" "$TRACE_JSON"
       ;;
+    perf-smoke)
+      banner "Poisson preconditioner perf smoke (ic0 must beat jacobi)"
+      # Reduced grid so the three preconditioner sweeps stay in CI budget;
+      # the full-scale numbers live in EXPERIMENTS.md. The TSan coverage of
+      # the concurrent PoissonSolver path rides in the tsan stage above
+      # (its -R 'Parallel' filter picks up PoissonSolverParallel.*).
+      DIR="$ROOT/build-ci-perf"
+      cmake -B "$DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >"$DIR.configure.log" 2>&1 ||
+        { cat "$DIR.configure.log"; exit 1; }
+      cmake --build "$DIR" -j "$JOBS" --target bench_poisson_solver
+      (cd "$DIR" &&
+        GNRFET_BENCH_POISSON_NX=24 GNRFET_BENCH_POISSON_NY=16 GNRFET_BENCH_POISSON_NZ=16 \
+        GNRFET_BENCH_POISSON_REPEATS=1 ./bench/bench_poisson_solver)
+      PERF_JSON="$DIR/bench_out/BENCH_poisson.json"
+      test -s "$PERF_JSON" || { echo "perf-smoke: no BENCH_poisson.json written" >&2; exit 1; }
+      # One {"preconditioner":...,"iterations":...,"seconds":...} per line.
+      iters() {
+        sed -n "s/.*\"preconditioner\":\"$1\",\"iterations\":\([0-9]*\).*/\1/p" "$PERF_JSON"
+      }
+      JAC="$(iters jacobi)"; IC0="$(iters ic0)"
+      [ -n "$JAC" ] && [ -n "$IC0" ] ||
+        { echo "perf-smoke: missing jacobi/ic0 records in $PERF_JSON" >&2; exit 1; }
+      echo "perf-smoke: jacobi=$JAC ic0=$IC0 total PCG iterations"
+      [ "$IC0" -lt "$JAC" ] ||
+        { echo "perf-smoke: ic0 ($IC0) not below jacobi ($JAC)" >&2; exit 1; }
+      ;;
     tidy)
       if ! command -v clang-tidy >/dev/null 2>&1; then
         banner "clang-tidy not installed; skipping tidy stage"
@@ -88,7 +117,7 @@ for stage in "${STAGES[@]}"; do
       ;;
     *)
       echo "ci_checks: unknown stage '$stage'" >&2
-      echo "known stages: werror asan-ubsan tsan checks-off trace tidy" >&2
+      echo "known stages: werror asan-ubsan tsan checks-off trace perf-smoke tidy" >&2
       exit 2
       ;;
   esac
