@@ -26,6 +26,7 @@ enum class Counter {
   kGummelIterations = 0,      ///< device: self-consistent outer iterations
   kNegfEnergyPoints,          ///< negf: energy grid points laid out
   kRgfSolves,                 ///< negf: individual RGF solves (per energy, per mode)
+  kNegfEnergyPointsSaved,     ///< negf: adaptive-grid evaluations avoided vs the uniform grid
   kPoissonNewtonIterations,   ///< poisson: damped-Newton iterations
   kPcgIterations,             ///< linalg: PCG iterations
   kPcgPrecondSetups,          ///< linalg: preconditioner factor/refactor passes
@@ -52,6 +53,7 @@ enum class Histogram {
   kPcgIterationsSsor,            ///< linalg: PCG iterations per SSOR-preconditioned solve
   kPcgIterationsIc0,             ///< linalg: PCG iterations per IC(0)-preconditioned solve
   kEnergyPointsPerTransport,     ///< negf: energy grid size per transport solve
+  kAdaptiveRefinementDepth,      ///< negf: panel depth at retirement in adaptive integration
   kCount
 };
 constexpr size_t kNumHistograms = static_cast<size_t>(Histogram::kCount);

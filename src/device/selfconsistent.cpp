@@ -62,6 +62,21 @@ DeviceSolution SelfConsistentSolver::solve(const BiasPoint& bias,
   std::vector<double> n_nodes(grid.num_nodes(), 0.0), p_nodes(grid.num_nodes(), 0.0);
   negf::TransportSolution transport;
 
+  // The ribbon sample points are fixed for the whole bias point, so the
+  // trilinear stencils behind every gather (potential), deposit (charge),
+  // and convergence probe below are hoisted out of the Gummel loop.
+  std::vector<poisson::Domain::CicStencil> ribbon(ncol * nlines);
+  for (size_t c = 0; c < ncol; ++c) {
+    for (size_t j = 0; j < nlines; ++j) {
+      ribbon[c * nlines + j] =
+          dom.stencil(geo_.column_x(c), geo_.line_y(static_cast<int>(j)), 0.0);
+    }
+  }
+
+  // Adaptive-grid warm start shared by the Gummel iterations of this bias
+  // point: each transport solve reuses the previous converged panel edges.
+  negf::TransportContext tctx;
+
   poisson::NonlinearOptions popt;
   popt.thermal_voltage_V = opts_.kT_eV;
 
@@ -69,23 +84,22 @@ DeviceSolution SelfConsistentSolver::solve(const BiasPoint& bias,
     // Gather the electron potential energy on the ribbon: U = -phi [eV].
     for (size_t c = 0; c < ncol; ++c) {
       for (size_t j = 0; j < nlines; ++j) {
-        u[c][j] = -dom.interpolate(phi, geo_.column_x(c), geo_.line_y(static_cast<int>(j)), 0.0);
+        u[c][j] = -dom.gather(phi, ribbon[c * nlines + j]);
       }
     }
-    transport = negf::solve_mode_space(geo_.modes(), u, topt);
+    transport = negf::solve_mode_space(geo_.modes(), u, topt, tctx);
 
     // Deposit electron/hole populations onto the grid.
     std::fill(n_nodes.begin(), n_nodes.end(), 0.0);
     std::fill(p_nodes.begin(), p_nodes.end(), 0.0);
     for (size_t c = 0; c < ncol; ++c) {
       for (size_t j = 0; j < nlines; ++j) {
-        const double x = geo_.column_x(c);
-        const double y = geo_.line_y(static_cast<int>(j));
+        const poisson::Domain::CicStencil& st = ribbon[c * nlines + j];
         if (transport.electrons[c][j] > 0.0) {
-          dom.deposit_charge(x, y, 0.0, transport.electrons[c][j], n_nodes);
+          dom.deposit(st, transport.electrons[c][j], n_nodes);
         }
         if (transport.holes[c][j] > 0.0) {
-          dom.deposit_charge(x, y, 0.0, transport.holes[c][j], p_nodes);
+          dom.deposit(st, transport.holes[c][j], p_nodes);
         }
       }
     }
@@ -96,10 +110,9 @@ DeviceSolution SelfConsistentSolver::solve(const BiasPoint& bias,
     double max_change = 0.0;
     for (size_t c = 0; c < ncol; ++c) {
       for (size_t j = 0; j < nlines; ++j) {
-        const double x = geo_.column_x(c);
-        const double y = geo_.line_y(static_cast<int>(j));
-        const double before = dom.interpolate(phi, x, y, 0.0);
-        const double after = dom.interpolate(pres.phi_full, x, y, 0.0);
+        const poisson::Domain::CicStencil& st = ribbon[c * nlines + j];
+        const double before = dom.gather(phi, st);
+        const double after = dom.gather(pres.phi_full, st);
         max_change = std::max(max_change, std::abs(after - before));
       }
     }
@@ -117,10 +130,10 @@ DeviceSolution SelfConsistentSolver::solve(const BiasPoint& bias,
   // Final transport pass on the converged potential.
   for (size_t c = 0; c < ncol; ++c) {
     for (size_t j = 0; j < nlines; ++j) {
-      u[c][j] = -dom.interpolate(phi, geo_.column_x(c), geo_.line_y(static_cast<int>(j)), 0.0);
+      u[c][j] = -dom.gather(phi, ribbon[c * nlines + j]);
     }
   }
-  transport = negf::solve_mode_space(geo_.modes(), u, topt);
+  transport = negf::solve_mode_space(geo_.modes(), u, topt, tctx);
 
   // Ballistic source/drain current continuity: the drain-side Landauer
   // integral (independent right-connected RGF sweeps) must agree with the

@@ -17,6 +17,7 @@
 #include "common/trace.hpp"
 #include "device/sweeps.hpp"
 #include "gnr/bandstructure.hpp"
+#include "negf/transport.hpp"
 
 namespace gnrfet::device {
 
@@ -28,6 +29,14 @@ std::string table_cache_payload(const DeviceSpec& spec, const TableGenOptions& o
      << "]de=" << opts.solve.energy_step_eV << ";eta=" << opts.solve.eta_eV
      << ";kT=" << opts.solve.kT_eV << ";gtol=" << opts.solve.gummel_tolerance_V
      << ";gmax=" << opts.solve.max_gummel_iterations;
+  // The energy-integration strategy changes table values (within the
+  // adaptive tolerance), so adaptive tables get their own cache entries.
+  // The uniform payload stays byte-identical to the pre-adaptive one: old
+  // cached tables remain valid for GNRFET_NEGF_GRID=uniform, which is
+  // bit-identical to the pre-adaptive solver.
+  if (negf::negf_grid_from_env() == negf::NegfGridKind::kAdaptive) {
+    os << ";grid=adaptive";
+  }
   return os.str();
 }
 

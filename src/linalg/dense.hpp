@@ -37,6 +37,15 @@ class Matrix {
   T* data() { return data_.data(); }
   const T* data() const { return data_.data(); }
 
+  /// Reshape to rows x cols and zero-fill, reusing the existing allocation
+  /// when capacity allows. The RGF workspaces call this once per energy on
+  /// long-lived scratch matrices, so the hot loop never touches the heap.
+  void resize_zero(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, T{});
+  }
+
   Matrix& operator+=(const Matrix& o) {
     check_same_shape(o);
     for (size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
@@ -110,6 +119,37 @@ class Matrix {
   size_t cols_ = 0;
   std::vector<T> data_;
 };
+
+/// c = a * b written into caller-owned storage (allocation reused). The
+/// accumulation runs in exactly the order of operator* above, so the two
+/// are bit-identical; c must not alias a or b.
+template <typename T>
+void multiply_into(Matrix<T>& c, const Matrix<T>& a, const Matrix<T>& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("multiply_into: shape mismatch");
+  c.resize_zero(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const T aik = a(i, k);
+      if (aik == T{}) continue;
+      for (size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+}
+
+/// dst = adjoint(src) into caller-owned storage; dst must not alias src.
+template <typename T>
+void adjoint_into(Matrix<T>& dst, const Matrix<T>& src) {
+  dst.resize_zero(src.cols(), src.rows());
+  for (size_t i = 0; i < src.rows(); ++i) {
+    for (size_t j = 0; j < src.cols(); ++j) {
+      if constexpr (std::is_same_v<T, cplx>) {
+        dst(j, i) = std::conj(src(i, j));
+      } else {
+        dst(j, i) = src(i, j);
+      }
+    }
+  }
+}
 
 using CMatrix = Matrix<cplx>;
 using DMatrix = Matrix<double>;

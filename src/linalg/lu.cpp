@@ -9,7 +9,7 @@ namespace {
 constexpr double kPivotFloor = 1e-300;
 
 template <typename T>
-void factor(Matrix<T>& a, std::vector<size_t>& perm, int* sign) {
+void factor_in_place(Matrix<T>& a, std::vector<size_t>& perm, int* sign) {
   const size_t n = a.rows();
   if (a.cols() != n) throw std::invalid_argument("LU: matrix must be square");
   perm.resize(n);
@@ -63,7 +63,34 @@ std::vector<T> lu_solve_one(const Matrix<T>& lu, const std::vector<size_t>& perm
 }
 }  // namespace
 
-LU::LU(CMatrix a) : lu_(std::move(a)) { factor(lu_, perm_, &sign_); }
+LU::LU(CMatrix a) : lu_(std::move(a)) { factor_in_place(lu_, perm_, &sign_); }
+
+void LU::factor(const CMatrix& a) {
+  lu_ = a;
+  sign_ = 1;
+  factor_in_place(lu_, perm_, &sign_);
+}
+
+void LU::solve_into(const CMatrix& b, CMatrix& x) const {
+  const size_t n = lu_.rows();
+  if (b.rows() != n) throw std::invalid_argument("LU::solve_into: shape mismatch");
+  x.resize_zero(b.rows(), b.cols());
+  for (size_t j = 0; j < b.cols(); ++j) {
+    for (size_t i = 0; i < n; ++i) x(i, j) = b(perm_[i], j);
+    // Forward substitution (unit lower triangle), in place on column j.
+    for (size_t i = 1; i < n; ++i) {
+      cplx s = x(i, j);
+      for (size_t k = 0; k < i; ++k) s -= lu_(i, k) * x(k, j);
+      x(i, j) = s;
+    }
+    // Back substitution.
+    for (size_t ii = n; ii-- > 0;) {
+      cplx s = x(ii, j);
+      for (size_t k = ii + 1; k < n; ++k) s -= lu_(ii, k) * x(k, j);
+      x(ii, j) = s / lu_(ii, ii);
+    }
+  }
+}
 
 std::vector<cplx> LU::solve(const std::vector<cplx>& b) const {
   return lu_solve_one(lu_, perm_, b);
@@ -92,7 +119,7 @@ CMatrix inverse(const CMatrix& a) {
   return lu.solve(CMatrix::identity(a.rows()));
 }
 
-LUReal::LUReal(DMatrix a) : lu_(std::move(a)) { factor(lu_, perm_, nullptr); }
+LUReal::LUReal(DMatrix a) : lu_(std::move(a)) { factor_in_place(lu_, perm_, nullptr); }
 
 std::vector<double> LUReal::solve(const std::vector<double>& b) const {
   return lu_solve_one(lu_, perm_, b);

@@ -11,13 +11,27 @@ namespace gnrfet::linalg {
 /// numerically singular pivot (|pivot| below an absolute floor).
 class LU {
  public:
+  /// Empty factorization; call factor() before solving. Exists so a
+  /// long-lived workspace (negf::RgfWorkspace) can refactor block after
+  /// block without reallocating the pivot storage.
+  LU() = default;
   explicit LU(CMatrix a);
+
+  /// Refactor in place: copies `a` into the internal storage (allocation
+  /// reused when shapes repeat) and runs the same elimination as the
+  /// constructor — results are bit-identical to a fresh LU(a).
+  void factor(const CMatrix& a);
 
   /// Solve A x = b for a single right-hand side.
   std::vector<cplx> solve(const std::vector<cplx>& b) const;
 
   /// Solve A X = B column-by-column.
   CMatrix solve(const CMatrix& b) const;
+
+  /// Solve A X = B into caller-owned X (allocation reused). Performs the
+  /// identical arithmetic sequence as solve(b), substituting in place on
+  /// X's columns, so the two are bit-identical. B must not alias X.
+  void solve_into(const CMatrix& b, CMatrix& x) const;
 
   /// log|det A| (natural log of absolute determinant), for diagnostics.
   double log_abs_det() const;

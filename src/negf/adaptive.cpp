@@ -1,0 +1,216 @@
+#include "negf/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+#include "common/strings.hpp"
+
+namespace gnrfet::negf {
+
+namespace {
+
+/// One active panel [a, b] with cached integrand values at the ends and
+/// the midpoint. Vectors are moved down the refinement tree where
+/// possible; only the midpoint is duplicated on a split.
+struct Panel {
+  double a = 0.0;
+  double b = 0.0;
+  int depth = 0;
+  std::vector<double> fa, fm, fb;
+};
+
+/// A retired panel: its fine-rule (two-half-panel Simpson) contribution
+/// and enough bookkeeping to reassemble edges and depth statistics.
+struct Retired {
+  double a = 0.0;
+  double b = 0.0;
+  int depth = 0;
+  std::vector<double> contrib;
+};
+
+}  // namespace
+
+AdaptiveResult adaptive_integrate(double lo_eV, double hi_eV, size_t ncomp,
+                                  const std::vector<double>& seed_edges,
+                                  const std::vector<ErrorGroup>& groups,
+                                  const AdaptiveOptions& opts, const BatchEval& eval,
+                                  const PanelSink& sink) {
+  if (!(hi_eV > lo_eV)) throw std::invalid_argument("adaptive_integrate: empty window");
+  if (ncomp == 0) throw std::invalid_argument("adaptive_integrate: ncomp must be > 0");
+  for (const ErrorGroup& g : groups) {
+    if (g.begin >= g.end || g.end > ncomp) {
+      throw std::invalid_argument("adaptive_integrate: error group out of range");
+    }
+  }
+  const double width = hi_eV - lo_eV;
+  const double min_sep = std::max(opts.min_panel_eV, 1e-12 * std::max(1.0, std::abs(hi_eV)));
+
+  // Initial edges: window ends plus deduplicated interior seeds.
+  std::vector<double> edges;
+  edges.reserve(seed_edges.size() + 2);
+  edges.push_back(lo_eV);
+  {
+    std::vector<double> interior(seed_edges);
+    std::sort(interior.begin(), interior.end());
+    for (const double e : interior) {
+      if (!(e > lo_eV) || !(e < hi_eV)) continue;
+      if (e - edges.back() < min_sep || hi_eV - e < min_sep) continue;
+      edges.push_back(e);
+    }
+  }
+  edges.push_back(hi_eV);
+  const size_t ne = edges.size();
+
+  // Evaluate edges then panel midpoints in one deterministic batch.
+  std::vector<double> batch;
+  batch.reserve(2 * ne - 1);
+  for (const double e : edges) batch.push_back(e);
+  for (size_t i = 0; i + 1 < ne; ++i) batch.push_back(0.5 * (edges[i] + edges[i + 1]));
+
+  AdaptiveResult out;
+  out.integrals.assign(ncomp, 0.0);
+
+  std::vector<std::vector<double>> values(batch.size());
+  eval(batch, values);
+  out.evaluations += batch.size();
+  for (size_t k = 0; k < batch.size(); ++k) {
+    GNRFET_REQUIRE("negf", "adaptive-eval-shape", values[k].size() == ncomp,
+                   strings::format("integrand returned %zu components, expected %zu",
+                                   values[k].size(), ncomp));
+    out.points.push_back(batch[k]);
+    out.first_component.push_back(values[k][0]);
+  }
+
+  std::vector<Panel> active(ne - 1);
+  for (size_t i = 0; i + 1 < ne; ++i) {
+    active[i].a = edges[i];
+    active[i].b = edges[i + 1];
+    active[i].fm = std::move(values[ne + i]);
+    active[i].fb = values[i + 1];  // shared edge: copy
+    active[i].fa = std::move(values[i]);
+  }
+
+  // Group references from the coarse-rule integrals of the initial
+  // panels: the error budget is relative to these magnitudes for the
+  // whole refinement, so the acceptance threshold itself is
+  // refinement-order independent.
+  std::vector<double> ref(groups.size(), 0.0);
+  std::vector<double> s1(ncomp), s2(ncomp);
+  for (const Panel& p : active) {
+    const double h6 = (p.b - p.a) / 6.0;
+    for (size_t g = 0; g < groups.size(); ++g) {
+      for (size_t c = groups[g].begin; c < groups[g].end; ++c) {
+        ref[g] += std::abs(h6 * (p.fa[c] + 4.0 * p.fm[c] + p.fb[c]));
+      }
+    }
+  }
+
+  std::vector<Retired> retired;
+  retired.reserve(2 * active.size());
+  while (!active.empty()) {
+    // Quarter points of every active panel, evaluated as one batch.
+    batch.clear();
+    batch.reserve(2 * active.size());
+    for (const Panel& p : active) {
+      const double m = 0.5 * (p.a + p.b);
+      batch.push_back(0.5 * (p.a + m));
+      batch.push_back(0.5 * (m + p.b));
+    }
+    values.assign(batch.size(), {});
+    eval(batch, values);
+    out.evaluations += batch.size();
+    for (size_t k = 0; k < batch.size(); ++k) {
+      GNRFET_REQUIRE("negf", "adaptive-eval-shape", values[k].size() == ncomp,
+                     strings::format("integrand returned %zu components, expected %zu",
+                                     values[k].size(), ncomp));
+      out.points.push_back(batch[k]);
+      out.first_component.push_back(values[k][0]);
+    }
+
+    std::vector<Panel> next;
+    for (size_t i = 0; i < active.size(); ++i) {
+      Panel& p = active[i];
+      std::vector<double>& fl = values[2 * i];
+      std::vector<double>& fr = values[2 * i + 1];
+      const double w = p.b - p.a;
+      const double h6 = w / 6.0;
+      const double h12 = w / 12.0;
+      for (size_t c = 0; c < ncomp; ++c) {
+        s1[c] = h6 * (p.fa[c] + 4.0 * p.fm[c] + p.fb[c]);
+        s2[c] = h12 * (p.fa[c] + 4.0 * fl[c] + 2.0 * p.fm[c] + 4.0 * fr[c] + p.fb[c]);
+      }
+      bool accept = true;
+      const double share = w / width;
+      for (size_t g = 0; g < groups.size() && accept; ++g) {
+        double err = 0.0;
+        for (size_t c = groups[g].begin; c < groups[g].end; ++c) err += std::abs(s2[c] - s1[c]);
+        accept = err <= share * (opts.rel_tol * ref[g] + groups[g].abs_floor);
+      }
+      if (accept || p.depth >= opts.max_depth || w < 2.0 * opts.min_panel_eV) {
+        Retired r;
+        r.a = p.a;
+        r.b = p.b;
+        r.depth = p.depth;
+        r.contrib.assign(s2.begin(), s2.end());
+        retired.push_back(std::move(r));
+        continue;
+      }
+      const double m = 0.5 * (p.a + p.b);
+      Panel left, right;
+      left.a = p.a;
+      left.b = m;
+      left.depth = p.depth + 1;
+      left.fa = std::move(p.fa);
+      left.fm = std::move(fl);
+      left.fb = p.fm;  // midpoint shared by both children: copy
+      right.a = m;
+      right.b = p.b;
+      right.depth = p.depth + 1;
+      right.fa = std::move(p.fm);
+      right.fm = std::move(fr);
+      right.fb = std::move(p.fb);
+      next.push_back(std::move(left));
+      next.push_back(std::move(right));
+    }
+    active = std::move(next);
+  }
+
+  // Ascending-energy reduction of the retired contributions: panel order
+  // (not retirement round) defines the summation sequence.
+  std::sort(retired.begin(), retired.end(),
+            [](const Retired& x, const Retired& y) { return x.a < y.a; });
+  out.edges.reserve(retired.size() + 1);
+  for (const Retired& r : retired) {
+    out.edges.push_back(r.a);
+    if (sink) sink(r.a, r.b, r.contrib);
+    for (size_t c = 0; c < ncomp; ++c) out.integrals[c] += r.contrib[c];
+    out.max_depth_reached = std::max(out.max_depth_reached, r.depth);
+    if (out.depth_counts.size() <= static_cast<size_t>(r.depth)) {
+      out.depth_counts.resize(static_cast<size_t>(r.depth) + 1, 0);
+    }
+    ++out.depth_counts[static_cast<size_t>(r.depth)];
+  }
+  out.edges.push_back(hi_eV);
+
+  // Points arrive batch by batch; present them in energy order.
+  std::vector<size_t> order(out.points.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return out.points[x] < out.points[y]; });
+  std::vector<double> pts(out.points.size()), fc(out.points.size());
+  for (size_t k = 0; k < order.size(); ++k) {
+    pts[k] = out.points[order[k]];
+    fc[k] = out.first_component[order[k]];
+  }
+  out.points = std::move(pts);
+  out.first_component = std::move(fc);
+
+  GNRFET_ENSURE("negf", "adaptive-finite-integrals", contracts::all_finite(out.integrals),
+                "adaptive integration produced NaN/inf integrals");
+  return out;
+}
+
+}  // namespace gnrfet::negf

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+/// Deterministic adaptive Simpson quadrature over a vector-valued
+/// integrand, used by the transport layer to concentrate RGF solves where
+/// the combined current/charge integrand actually varies (subband edges,
+/// the Fermi window) instead of stepping uniformly through the whole
+/// charge window.
+///
+/// Determinism contract: refinement decisions depend only on integrand
+/// values, panels are processed in fixed (ascending-energy) round order,
+/// and retired contributions are summed in ascending energy order. The
+/// batch evaluator receives value-determined energy lists and writes each
+/// result into its own slot, so the caller may parallelize a batch freely
+/// (e.g. par::parallel_for_chunks) without changing any bit of the result
+/// for any thread count.
+namespace gnrfet::negf {
+
+/// Component half-open range [begin, end) sharing one error budget.
+/// Components outside every group (e.g. pure diagnostics) never influence
+/// refinement.
+struct ErrorGroup {
+  size_t begin = 0;
+  size_t end = 0;
+  /// Absolute error floor (integral units): a panel whose group error is
+  /// below `abs_floor * panel_width / total_width` is accepted even when
+  /// the relative reference is zero (identically-zero integrands at
+  /// equilibrium would otherwise refine to max depth chasing roundoff).
+  double abs_floor = 1e-12;
+};
+
+struct AdaptiveOptions {
+  /// Per-group relative tolerance on the total integral (error budget is
+  /// distributed over panels proportionally to width).
+  double rel_tol = 1e-4;
+  /// Maximum halvings of an initial panel; panels at this depth retire
+  /// regardless of their error estimate.
+  int max_depth = 14;
+  /// Panels narrower than twice this never split.
+  double min_panel_eV = 1e-6;
+};
+
+struct AdaptiveResult {
+  /// Integral per component, summed over retired panels in ascending
+  /// energy order.
+  std::vector<double> integrals;
+  /// Retired panel boundaries, ascending (first == lo, last == hi); feed
+  /// back as `seed_edges` to warm-start the next solve of a nearby
+  /// integrand (e.g. the next Gummel iteration at the same bias).
+  std::vector<double> edges;
+  /// Every evaluated energy, ascending, and the component-0 value at it
+  /// (the transport layer stores degeneracy-weighted transmission there
+  /// as a sampling diagnostic).
+  std::vector<double> points;
+  std::vector<double> first_component;
+  size_t evaluations = 0;
+  int max_depth_reached = 0;
+  /// Retired-panel count per depth (index = depth, 0 = never split).
+  std::vector<uint32_t> depth_counts;
+};
+
+/// Fill `values[k]` (resized to `ncomp` by the callee) with the integrand
+/// components at `energies[k]`. `values` arrives sized to the batch.
+using BatchEval =
+    std::function<void(const std::vector<double>& energies, std::vector<std::vector<double>>& values)>;
+
+/// Per-retired-panel consumer: called once per panel in ascending energy
+/// order after refinement finishes, with the panel bounds and its
+/// fine-rule contribution per component. Lets callers post-process
+/// integrals whose definition depends on the panel's position — e.g. the
+/// bipolar electron/hole split, which assigns a panel's smooth spectral
+/// charge to electrons or holes depending on which side of the local
+/// mid-gap it lies — without feeding a discontinuous component into the
+/// smooth-integrand refinement machinery.
+using PanelSink = std::function<void(double a_eV, double b_eV, const std::vector<double>& contrib)>;
+
+/// Integrate `ncomp` components over [lo_eV, hi_eV]. `seed_edges` are
+/// extra initial panel boundaries (physics breakpoints, warm-start edges);
+/// values outside (lo, hi) are discarded, near-duplicates merged.
+AdaptiveResult adaptive_integrate(double lo_eV, double hi_eV, size_t ncomp,
+                                  const std::vector<double>& seed_edges,
+                                  const std::vector<ErrorGroup>& groups,
+                                  const AdaptiveOptions& opts, const BatchEval& eval,
+                                  const PanelSink& sink = {});
+
+}  // namespace gnrfet::negf

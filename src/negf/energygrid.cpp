@@ -4,11 +4,26 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
+#include "common/strings.hpp"
+
 namespace gnrfet::negf {
 
 EnergyGrid make_energy_grid(double e_lo_eV, double e_hi_eV, double step_eV) {
-  if (!(e_hi_eV > e_lo_eV) || step_eV <= 0.0) {
+  if (!std::isfinite(e_lo_eV) || !std::isfinite(e_hi_eV) || !(step_eV > 0.0) ||
+      !std::isfinite(step_eV)) {
     throw std::invalid_argument("make_energy_grid: invalid window or step");
+  }
+  // Degenerate-window contract: a window that collapsed to (or below) one
+  // step — e.g. an aggressively clamped charge window on a flat-potential
+  // device — yields the minimal 3-point grid spanning one step around the
+  // window midpoint instead of throwing. Integrals over it are well
+  // defined and near zero, which is the physically right answer for an
+  // (almost) empty window.
+  if (!(e_hi_eV - e_lo_eV >= step_eV)) {
+    const double mid = 0.5 * (e_lo_eV + e_hi_eV);
+    e_lo_eV = mid - 0.5 * step_eV;
+    e_hi_eV = mid + 0.5 * step_eV;
   }
   const size_t n = std::max<size_t>(3, static_cast<size_t>(std::ceil((e_hi_eV - e_lo_eV) / step_eV)) + 1);
   const double h = (e_hi_eV - e_lo_eV) / static_cast<double>(n - 1);
@@ -18,6 +33,10 @@ EnergyGrid make_energy_grid(double e_lo_eV, double e_hi_eV, double step_eV) {
   for (size_t i = 0; i < n; ++i) g.points[i] = e_lo_eV + h * static_cast<double>(i);
   g.weights.front() = 0.5 * h;
   g.weights.back() = 0.5 * h;
+  GNRFET_ENSURE("negf", "energy-grid-valid",
+                g.points.size() >= 3 && g.points.front() < g.points.back() && h > 0.0,
+                strings::format("grid [%g, %g] step %g produced %zu points", e_lo_eV, e_hi_eV,
+                                step_eV, g.points.size()));
   return g;
 }
 
@@ -34,6 +53,13 @@ EnergyWindow charge_window(double min_midgap_eV, double max_midgap_eV, double mu
   // Never integrate past the band tops (no states beyond them).
   w.lo = std::max(w.lo, min_midgap_eV - band_top_eV - 0.1);
   w.hi = std::min(w.hi, max_midgap_eV + band_top_eV + 0.1);
+  // Window contract: the band-top clamps keep lo below every mid-gap and
+  // hi above (min_midgap <= max_midgap, band_top >= 0), so the window
+  // can never invert.
+  GNRFET_ENSURE("negf", "charge-window-ordered",
+                w.lo < w.hi && w.lo <= min_midgap_eV && w.hi >= max_midgap_eV,
+                strings::format("window [%g, %g] for mid-gaps [%g, %g]", w.lo, w.hi,
+                                min_midgap_eV, max_midgap_eV));
   return w;
 }
 

@@ -10,6 +10,14 @@ namespace gnrfet::negf {
 using cplx = std::complex<double>;
 
 ScalarRgfResult scalar_rgf_solve(const ScalarChain& chain, double energy_eV, double eta_eV) {
+  ScalarRgfWorkspace ws;
+  ScalarRgfResult out;
+  scalar_rgf_solve(chain, energy_eV, eta_eV, ws, out);
+  return out;
+}
+
+void scalar_rgf_solve(const ScalarChain& chain, double energy_eV, double eta_eV,
+                      ScalarRgfWorkspace& ws, ScalarRgfResult& out) {
   const size_t n = chain.onsite.size();
   if (n < 2) throw std::invalid_argument("scalar_rgf: need >= 2 sites");
   if (chain.hopping.size() != n - 1) {
@@ -26,7 +34,8 @@ ScalarRgfResult scalar_rgf_solve(const ScalarChain& chain, double energy_eV, dou
   const cplx sig_r(0.0, -0.5 * chain.gamma_right);
 
   // Forward: left-connected g.
-  std::vector<cplx> gl(n);
+  std::vector<cplx>& gl = ws.gl;
+  gl.resize(n);
   gl[0] = 1.0 / (e - chain.onsite[0] - sig_l);
   for (size_t c = 1; c < n; ++c) {
     cplx a = e - chain.onsite[c];
@@ -38,7 +47,10 @@ ScalarRgfResult scalar_rgf_solve(const ScalarChain& chain, double energy_eV, dou
 
   // Backward: full diagonal plus the last-column elements
   // G_{c,last} = -gL_c A_{c,c+1} G_{c+1,last} with A = -H.
-  std::vector<cplx> gd(n), gcol(n);
+  std::vector<cplx>& gd = ws.gd;
+  std::vector<cplx>& gcol = ws.gcol;
+  gd.resize(n);
+  gcol.resize(n);
   gd[n - 1] = gl[n - 1];
   gcol[n - 1] = gl[n - 1];
   for (size_t c = n - 1; c-- > 0;) {
@@ -47,18 +59,17 @@ ScalarRgfResult scalar_rgf_solve(const ScalarChain& chain, double energy_eV, dou
     gcol[c] = gl[c] * v * gcol[c + 1];
   }
 
-  ScalarRgfResult r;
-  r.transmission = chain.gamma_left * chain.gamma_right * std::norm(gcol[0]);
-  r.transmission_reverse = r.transmission;
+  out.transmission = chain.gamma_left * chain.gamma_right * std::norm(gcol[0]);
+  out.transmission_reverse = out.transmission;
   // One transverse subband carries at most one conductance quantum:
   // 0 <= T(E) <= 1 for any chain with these wide-band contacts.
   GNRFET_ENSURE("negf", "transmission-positive",
-                std::isfinite(r.transmission) && r.transmission >= -1e-9 &&
-                    r.transmission <= 1.0 + 1e-6,
+                std::isfinite(out.transmission) && out.transmission >= -1e-9 &&
+                    out.transmission <= 1.0 + 1e-6,
                 strings::format("scalar T(E=%g) = %g outside [0, 1]", energy_eV,
-                                r.transmission));
-  r.spectral_left.resize(n);
-  r.spectral_right.resize(n);
+                                out.transmission));
+  out.spectral_left.resize(n);
+  out.spectral_right.resize(n);
   for (size_t c = 0; c < n; ++c) {
     const double a_tot = -2.0 * gd[c].imag();
     const double a_r = chain.gamma_right * std::norm(gcol[c]);
@@ -68,8 +79,8 @@ ScalarRgfResult scalar_rgf_solve(const ScalarChain& chain, double energy_eV, dou
                       a_tot - a_r >= -1e-9 * (1.0 + std::abs(a_tot) + a_r),
                   strings::format("site %zu: A_tot = %g, A_R = %g at E = %g", c, a_tot, a_r,
                                   energy_eV));
-    r.spectral_right[c] = a_r;
-    r.spectral_left[c] = std::max(0.0, a_tot - a_r);
+    out.spectral_right[c] = a_r;
+    out.spectral_left[c] = std::max(0.0, a_tot - a_r);
   }
 #if GNRFET_CHECKS_ENABLED
   // Independent drain-side solve: right-connected sweep, then the mirrored
@@ -77,7 +88,8 @@ ScalarRgfResult scalar_rgf_solve(const ScalarChain& chain, double energy_eV, dou
   // Hamiltonian is complex-symmetric), so the two transmissions agree; the
   // mismatch is the per-energy source/drain current-continuity contract.
   {
-    std::vector<cplx> gr(n);
+    std::vector<cplx>& gr = ws.gr;
+    gr.resize(n);
     gr[n - 1] = 1.0 / (e - chain.onsite[n - 1] - sig_r);
     for (size_t c = n - 1; c-- > 0;) {
       cplx a = e - chain.onsite[c];
@@ -88,15 +100,14 @@ ScalarRgfResult scalar_rgf_solve(const ScalarChain& chain, double energy_eV, dou
     }
     cplx grow = gr[0];  // G_{0,0} of the right-connected chain... accumulate G_{c,0}
     for (size_t c = 1; c < n; ++c) grow = gr[c] * chain.hopping[c - 1] * grow;
-    r.transmission_reverse = chain.gamma_left * chain.gamma_right * std::norm(grow);
-    const double mismatch = std::abs(r.transmission - r.transmission_reverse);
+    out.transmission_reverse = chain.gamma_left * chain.gamma_right * std::norm(grow);
+    const double mismatch = std::abs(out.transmission - out.transmission_reverse);
     GNRFET_ENSURE("negf", "reciprocal-transmission",
-                  mismatch <= 1e-6 * (r.transmission + r.transmission_reverse + 1e-9),
+                  mismatch <= 1e-6 * (out.transmission + out.transmission_reverse + 1e-9),
                   strings::format("T_forward = %.12g vs T_reverse = %.12g at E = %g",
-                                  r.transmission, r.transmission_reverse, energy_eV));
+                                  out.transmission, out.transmission_reverse, energy_eV));
   }
 #endif
-  return r;
 }
 
 }  // namespace gnrfet::negf

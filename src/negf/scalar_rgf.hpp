@@ -32,7 +32,25 @@ struct ScalarRgfResult {
   std::vector<double> spectral_right;  ///< A_R,cc per site
 };
 
+/// Caller-owned scratch for scalar_rgf_solve (à la linalg::PcgWorkspace):
+/// the left/right-connected sweeps and full-Green buffers. Reusing one
+/// workspace across the energy loop makes the per-energy solve
+/// allocation-free after the first call; contents carry no state between
+/// solves, so reuse cannot change results.
+struct ScalarRgfWorkspace {
+  std::vector<std::complex<double>> gl;    ///< left-connected g
+  std::vector<std::complex<double>> gd;    ///< full-G diagonal
+  std::vector<std::complex<double>> gcol;  ///< last-column G elements
+  std::vector<std::complex<double>> gr;    ///< right-connected sweep (checks)
+};
+
 /// Solve the chain at E + i*eta.
 ScalarRgfResult scalar_rgf_solve(const ScalarChain& chain, double energy_eV, double eta_eV);
+
+/// Workspace variant: identical arithmetic (bit-for-bit equal results),
+/// zero heap allocation once `ws` and `out` have warmed to the chain
+/// length. `out`'s spectral vectors are resized, scalars overwritten.
+void scalar_rgf_solve(const ScalarChain& chain, double energy_eV, double eta_eV,
+                      ScalarRgfWorkspace& ws, ScalarRgfResult& out);
 
 }  // namespace gnrfet::negf

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <limits>
 #include <vector>
 
 #include "gnr/lattice.hpp"
@@ -18,6 +19,16 @@
 /// included.
 namespace gnrfet::negf {
 
+/// Energy-integration strategy, selected by GNRFET_NEGF_GRID.
+enum class NegfGridKind {
+  kUniform,   ///< fixed-step trapezoid grid (pre-adaptive behavior, bit-identical)
+  kAdaptive,  ///< deterministic adaptive Simpson refinement (default)
+};
+
+/// Resolve GNRFET_NEGF_GRID ("uniform" | "adaptive"; default "adaptive").
+/// Throws std::invalid_argument on any other value.
+NegfGridKind negf_grid_from_env();
+
 /// Common transport settings.
 struct TransportOptions {
   double gamma_contact_eV = 1.0;  ///< wide-band metal broadening
@@ -26,6 +37,36 @@ struct TransportOptions {
   double kT_eV = 0.02585;
   double eta_eV = 1e-3;          ///< Green's-function broadening
   double energy_step_eV = 2e-3;  ///< charge/current grid spacing
+  /// Explicit integration window override: when both are finite they
+  /// replace the automatic charge_window(). Modes (and uniform-grid
+  /// energies) outside the override are simply not solved — used by tests
+  /// to exercise the window-skip paths, and by callers that already know
+  /// the support of their integrand.
+  double window_lo_eV = std::numeric_limits<double>::quiet_NaN();
+  double window_hi_eV = std::numeric_limits<double>::quiet_NaN();
+  /// Adaptive-grid controls (ignored in uniform mode). Coarse initial
+  /// panel width; 0 means max(80 meV, 8 * energy_step_eV).
+  double adaptive_coarse_step_eV = 0.0;
+  /// Relative tolerance per error group (current, spectral charge) on the
+  /// adaptively integrated totals.
+  double adaptive_rel_tol = 1e-4;
+};
+
+/// Reusable state for repeated transport solves of the *same bias point*
+/// (Gummel iterations): the converged adaptive panel edges of each mode
+/// warm-start the next solve, so later iterations skip re-discovering the
+/// refinement structure. reset() when moving to a new bias point. The
+/// uniform path ignores it. Note the Simpson refinement identity: total
+/// evaluations are 4 * retired_panels + 1 whatever the starting grid, so
+/// warm-starting trades refinement rounds (latency, batch sizes) for none
+/// of the evaluation count — its value is keeping the panel structure
+/// stable across Gummel iterations, not fewer RGF solves. Warm-starting
+/// changes which panels the next solve begins from — results stay within
+/// the adaptive tolerance but are not bit-identical to a cold solve
+/// (determinism across thread counts is unaffected).
+struct TransportContext {
+  std::vector<std::vector<double>> mode_edges;  ///< per-mode panel edges
+  void reset() { mode_edges.clear(); }
 };
 
 /// Solution of one bias point.
@@ -45,7 +86,11 @@ struct TransportSolution {
   std::vector<std::vector<double>> holes;
   /// Total net electrons in the device: sum(electrons - holes).
   double total_net_electrons = 0.0;
-  /// Transmission sampled on the integration grid.
+  /// Transmission sampled on the integration grid. Uniform mode: the full
+  /// grid, with per-mode contributions summed at every point. Adaptive
+  /// mode: the union of the energies each mode actually visited; a point
+  /// only carries the modes that sampled it (a sampling diagnostic, not a
+  /// complete T(E) curve).
   std::vector<double> energies_eV;
   std::vector<double> transmission;
 };
@@ -56,6 +101,12 @@ struct TransportSolution {
 TransportSolution solve_mode_space(const gnr::ModeSet& modes,
                                    const std::vector<std::vector<double>>& potential_eV,
                                    const TransportOptions& opts);
+
+/// Same, with caller-owned warm-start state shared across the Gummel
+/// iterations of one bias point.
+TransportSolution solve_mode_space(const gnr::ModeSet& modes,
+                                   const std::vector<std::vector<double>>& potential_eV,
+                                   const TransportOptions& opts, TransportContext& ctx);
 
 /// Real-space solve on the atomistic lattice with per-atom onsite energies
 /// (eV). Reference path; used for validation and the band-profile figures.

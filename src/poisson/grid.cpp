@@ -61,22 +61,42 @@ CicWeights cic(const GridSpec& s, double x, double y, double z) {
 }
 }  // namespace
 
+Domain::CicStencil Domain::stencil(double x, double y, double z) const {
+  const CicWeights w = cic(spec_, x, y, z);
+  CicStencil st;
+  size_t p = 0;
+  for (int di = 0; di < 2; ++di) {
+    for (int dj = 0; dj < 2; ++dj) {
+      for (int dk = 0; dk < 2; ++dk) {
+        st.weight[p] = (di ? w.fx : 1.0 - w.fx) * (dj ? w.fy : 1.0 - w.fy) *
+                       (dk ? w.fz : 1.0 - w.fz);
+        st.node[p] = spec_.index(w.i0 + static_cast<size_t>(di), w.j0 + static_cast<size_t>(dj),
+                                 w.k0 + static_cast<size_t>(dk));
+        ++p;
+      }
+    }
+  }
+  return st;
+}
+
+double Domain::gather(const std::vector<double>& field, const CicStencil& st) const {
+  double v = 0.0;
+  // Ascending p matches the (di, dj, dk) loop order of the coordinate
+  // form, so the accumulation is bit-identical to interpolate().
+  for (size_t p = 0; p < 8; ++p) v += st.weight[p] * field[st.node[p]];
+  return v;
+}
+
+void Domain::deposit(const CicStencil& st, double charge_e, std::vector<double>& rho) const {
+  for (size_t p = 0; p < 8; ++p) rho[st.node[p]] += st.weight[p] * charge_e;
+}
+
 void Domain::deposit_charge(double x, double y, double z, double charge_e,
                             std::vector<double>& rho) const {
   if (rho.size() != spec_.num_nodes()) {
     throw std::invalid_argument("deposit_charge: rho size mismatch");
   }
-  const CicWeights w = cic(spec_, x, y, z);
-  for (int di = 0; di < 2; ++di) {
-    for (int dj = 0; dj < 2; ++dj) {
-      for (int dk = 0; dk < 2; ++dk) {
-        const double wt = (di ? w.fx : 1.0 - w.fx) * (dj ? w.fy : 1.0 - w.fy) *
-                          (dk ? w.fz : 1.0 - w.fz);
-        rho[spec_.index(w.i0 + static_cast<size_t>(di), w.j0 + static_cast<size_t>(dj),
-                        w.k0 + static_cast<size_t>(dk))] += wt * charge_e;
-      }
-    }
-  }
+  deposit(stencil(x, y, z), charge_e, rho);
 }
 
 double Domain::interpolate(const std::vector<double>& field, double x, double y,
@@ -84,20 +104,7 @@ double Domain::interpolate(const std::vector<double>& field, double x, double y,
   if (field.size() != spec_.num_nodes()) {
     throw std::invalid_argument("interpolate: field size mismatch");
   }
-  const CicWeights w = cic(spec_, x, y, z);
-  double v = 0.0;
-  for (int di = 0; di < 2; ++di) {
-    for (int dj = 0; dj < 2; ++dj) {
-      for (int dk = 0; dk < 2; ++dk) {
-        const double wt = (di ? w.fx : 1.0 - w.fx) * (dj ? w.fy : 1.0 - w.fy) *
-                          (dk ? w.fz : 1.0 - w.fz);
-        v += wt * field[spec_.index(w.i0 + static_cast<size_t>(di),
-                                    w.j0 + static_cast<size_t>(dj),
-                                    w.k0 + static_cast<size_t>(dk))];
-      }
-    }
-  }
-  return v;
+  return gather(field, stencil(x, y, z));
 }
 
 }  // namespace gnrfet::poisson

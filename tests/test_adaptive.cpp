@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/metrics.hpp"
+#include "common/parallel.hpp"
+#include "device/tablegen.hpp"
+#include "gnr/modespace.hpp"
+#include "negf/adaptive.hpp"
+#include "negf/scalar_rgf.hpp"
+#include "negf/transport.hpp"
+
+namespace {
+
+using namespace gnrfet;
+
+uint64_t fnv1a(const std::vector<double>& v) {
+  uint64_t h = 1469598103934665603ull;
+  for (const double d : v) {
+    unsigned char b[sizeof(double)];
+    std::memcpy(b, &d, sizeof(double));
+    for (const unsigned char c : b) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+std::vector<double> flatten(const std::vector<std::vector<double>>& m) {
+  std::vector<double> f;
+  for (const auto& row : m) f.insert(f.end(), row.begin(), row.end());
+  return f;
+}
+
+/// Scoped GNRFET_NEGF_GRID override that restores the prior state, so the
+/// single-process `ctest -L fast` run sees no cross-test pollution.
+class GridEnvGuard {
+ public:
+  explicit GridEnvGuard(const char* value) : was_set_(common::env_set("GNRFET_NEGF_GRID")) {
+    if (was_set_) previous_ = common::env_or("GNRFET_NEGF_GRID", "");
+    if (value) {
+      ::setenv("GNRFET_NEGF_GRID", value, 1);
+    } else {
+      ::unsetenv("GNRFET_NEGF_GRID");
+    }
+  }
+  ~GridEnvGuard() {
+    if (was_set_) {
+      ::setenv("GNRFET_NEGF_GRID", previous_.c_str(), 1);
+    } else {
+      ::unsetenv("GNRFET_NEGF_GRID");
+    }
+  }
+
+ private:
+  bool was_set_;
+  std::string previous_;
+};
+
+/// The fixed mode-space problem behind the uniform golden pin: a 12-line
+/// ribbon with a source-drain ramp plus a line-direction ripple.
+struct GoldenProblem {
+  gnr::ModeSet modes = gnr::build_mode_set(12, {2.7, 0.12}, 3);
+  std::vector<std::vector<double>> u;
+  negf::TransportOptions opts;
+
+  GoldenProblem() {
+    const size_t ncol = 32;
+    u.assign(ncol, std::vector<double>(12, 0.0));
+    for (size_t c = 0; c < ncol; ++c) {
+      const double x = static_cast<double>(c) / static_cast<double>(ncol - 1);
+      for (size_t j = 0; j < 12; ++j) {
+        u[c][j] = -0.3 - 0.4 * x + 0.02 * std::cos(0.7 * static_cast<double>(j));
+      }
+    }
+    opts.mu_drain_eV = -0.4;
+    opts.energy_step_eV = 2e-3;
+  }
+};
+
+uint64_t rgf_solves() {
+  return metrics::snapshot().counters[static_cast<size_t>(metrics::Counter::kRgfSolves)];
+}
+
+TEST(AdaptiveGolden, UniformModeSpaceBitIdenticalToPreAdaptiveSolver) {
+  // Regression pin: with GNRFET_NEGF_GRID=uniform the refactored solver
+  // (hoisted skip window, workspace RGF kernels) must reproduce the
+  // pre-adaptive transport output bit-for-bit. Hashes and hexfloats below
+  // were captured from the pre-PR solver.
+  GridEnvGuard guard("uniform");
+  GoldenProblem p;
+  const auto sol = negf::solve_mode_space(p.modes, p.u, p.opts);
+  EXPECT_EQ(sol.current_A, 0x1.12e6388bc3c3cp-17);
+  EXPECT_EQ(sol.current_drain_A, 0x1.12e6388bc3c3bp-17);
+  EXPECT_EQ(sol.total_net_electrons, 0x1.44d1522dd0c06p+1);
+  EXPECT_EQ(sol.energies_eV.size(), 613u);
+  EXPECT_EQ(fnv1a(sol.energies_eV), 0x6b11046d548574f5ull);
+  EXPECT_EQ(fnv1a(sol.transmission), 0x71b5bb6f38984168ull);
+  EXPECT_EQ(fnv1a(flatten(sol.electrons)), 0xc8e0b403a2f0723eull);
+  EXPECT_EQ(fnv1a(flatten(sol.holes)), 0xc3839b255526531eull);
+}
+
+TEST(AdaptiveGolden, UniformDeviceTableBitIdenticalToPreAdaptiveSolver) {
+  // End-to-end pin through the self-consistent device stack (Gummel loop,
+  // stencil-hoisted gather/deposit, tablegen): uniform-grid tables must
+  // match the pre-PR solver bit-for-bit.
+  GridEnvGuard guard("uniform");
+  device::DeviceSpec spec;
+  spec.channel_length_nm = 8.0;
+  device::TableGenOptions opts;
+  opts.vg_min = 0.0;
+  opts.vg_max = 0.4;
+  opts.vg_points = 3;
+  opts.vd_min = 0.05;
+  opts.vd_max = 0.35;
+  opts.vd_points = 2;
+  opts.use_cache = false;
+  const auto t = device::generate_device_table(spec, opts);
+  EXPECT_EQ(fnv1a(t.current_A), 0x5e466317ca8aae43ull);
+  EXPECT_EQ(fnv1a(t.charge_C), 0xadcc7b5ce2e3c7bbull);
+  ASSERT_EQ(t.current_A.size(), 6u);
+  EXPECT_EQ(t.current_A[0], 0x1.596231e6a8431p-23);
+  EXPECT_EQ(t.current_A[5], 0x1.25844c0ef1327p-21);
+}
+
+TEST(AdaptiveAccuracy, MatchesFineUniformReferenceWithFewerSolves) {
+  GoldenProblem p;
+  // Reference: 4x finer uniform grid.
+  negf::TransportOptions fine = p.opts;
+  fine.energy_step_eV = p.opts.energy_step_eV / 4.0;
+  uint64_t solves_uniform = 0;
+  negf::TransportSolution ref;
+  {
+    GridEnvGuard guard("uniform");
+    metrics::reset();
+    const auto coarse = negf::solve_mode_space(p.modes, p.u, p.opts);
+    solves_uniform = rgf_solves();
+    (void)coarse;
+    ref = negf::solve_mode_space(p.modes, p.u, fine);
+  }
+  GridEnvGuard guard("adaptive");
+  metrics::reset();
+  const auto sol = negf::solve_mode_space(p.modes, p.u, p.opts);
+  const uint64_t solves_adaptive = rgf_solves();
+  const uint64_t saved =
+      metrics::snapshot().counters[static_cast<size_t>(metrics::Counter::kNegfEnergyPointsSaved)];
+
+  // Accuracy contract: <= 1e-4 relative on current against the 4x-finer
+  // uniform reference (measured ~4e-10 on this problem).
+  EXPECT_LE(std::abs(sol.current_A - ref.current_A), 1e-4 * std::abs(ref.current_A));
+  EXPECT_LE(std::abs(sol.total_net_electrons - ref.total_net_electrons),
+            5e-4 * std::abs(ref.total_net_electrons));
+  // Perf contract: at most half the uniform solve count (measured ~2.7x
+  // fewer), and the saved-points counter reflects the reduction.
+  EXPECT_LE(2 * solves_adaptive, solves_uniform);
+  EXPECT_GT(saved, 0u);
+}
+
+TEST(AdaptiveDeterminism, BitIdenticalAcrossThreadCounts) {
+  GridEnvGuard guard("adaptive");
+  GoldenProblem p;
+  const int before = par::thread_count();
+  par::set_thread_count(1);
+  const auto s1 = negf::solve_mode_space(p.modes, p.u, p.opts);
+  par::set_thread_count(4);
+  const auto s4 = negf::solve_mode_space(p.modes, p.u, p.opts);
+  par::set_thread_count(before);
+  EXPECT_EQ(s1.current_A, s4.current_A);
+  EXPECT_EQ(s1.current_drain_A, s4.current_drain_A);
+  EXPECT_EQ(s1.total_net_electrons, s4.total_net_electrons);
+  EXPECT_EQ(fnv1a(s1.energies_eV), fnv1a(s4.energies_eV));
+  EXPECT_EQ(fnv1a(s1.transmission), fnv1a(s4.transmission));
+  EXPECT_EQ(fnv1a(flatten(s1.electrons)), fnv1a(flatten(s4.electrons)));
+  EXPECT_EQ(fnv1a(flatten(s1.holes)), fnv1a(flatten(s4.holes)));
+}
+
+TEST(AdaptiveContext, WarmStartReusesConvergedEdges) {
+  GridEnvGuard guard("adaptive");
+  GoldenProblem p;
+  negf::TransportContext ctx;
+  const auto cold = negf::solve_mode_space(p.modes, p.u, p.opts, ctx);
+  ASSERT_EQ(ctx.mode_edges.size(), p.modes.modes.size());
+  size_t with_edges = 0;
+  for (const auto& e : ctx.mode_edges) with_edges += !e.empty() ? 1 : 0;
+  EXPECT_GT(with_edges, 0u);
+  // Warm solve of the same potential starts from the converged panels and
+  // lands on the same integrals (within tolerance; identical here because
+  // the converged structure re-accepts immediately).
+  const auto warm = negf::solve_mode_space(p.modes, p.u, p.opts, ctx);
+  EXPECT_NEAR(warm.current_A, cold.current_A, 1e-6 * std::abs(cold.current_A));
+  EXPECT_NEAR(warm.total_net_electrons, cold.total_net_electrons,
+              1e-6 * std::abs(cold.total_net_electrons));
+  ctx.reset();
+  EXPECT_TRUE(ctx.mode_edges.empty());
+}
+
+TEST(AdaptiveWindow, ModeOutsideWindowContributesNothingAndSolvesNothing) {
+  // Window override far above every mode's support: the skip branch must
+  // produce a zero solution without a single RGF solve, and account the
+  // skipped work as saved points.
+  GridEnvGuard guard("adaptive");
+  GoldenProblem p;
+  negf::TransportOptions opts = p.opts;
+  opts.window_lo_eV = 30.0;
+  opts.window_hi_eV = 31.0;
+  metrics::reset();
+  const auto sol = negf::solve_mode_space(p.modes, p.u, opts);
+  EXPECT_EQ(rgf_solves(), 0u);
+  EXPECT_EQ(sol.current_A, 0.0);
+  EXPECT_EQ(sol.total_net_electrons, 0.0);
+  for (const auto& col : sol.electrons) {
+    for (const double v : col) EXPECT_EQ(v, 0.0);
+  }
+}
+
+TEST(AdaptiveIntegrate, RecoversPolynomialExactlyAndRefinesKink) {
+  // Simpson's fine rule is exact for cubics; the kink component forces
+  // refinement near x = 0.37 while the cubic shares the grid for free.
+  const negf::BatchEval eval = [](const std::vector<double>& xs,
+                                  std::vector<std::vector<double>>& values) {
+    for (size_t k = 0; k < xs.size(); ++k) {
+      const double x = xs[k];
+      values[k] = {x * x * x - 0.5 * x, std::abs(x - 0.37)};
+    }
+  };
+  std::vector<negf::ErrorGroup> groups(1);
+  groups[0] = {0, 2, 1e-14};
+  negf::AdaptiveOptions opts;
+  opts.rel_tol = 1e-8;
+  const auto res = negf::adaptive_integrate(0.0, 1.0, 2, {}, groups, opts, eval);
+  EXPECT_NEAR(res.integrals[0], 0.25 - 0.25, 1e-12);
+  const double kink_exact = (0.37 * 0.37 + 0.63 * 0.63) / 2.0;
+  EXPECT_NEAR(res.integrals[1], kink_exact, 1e-8);
+  EXPECT_GT(res.max_depth_reached, 0);
+  // Edges ascend and span the window.
+  ASSERT_GE(res.edges.size(), 2u);
+  EXPECT_EQ(res.edges.front(), 0.0);
+  EXPECT_EQ(res.edges.back(), 1.0);
+  for (size_t i = 1; i < res.edges.size(); ++i) EXPECT_LT(res.edges[i - 1], res.edges[i]);
+}
+
+TEST(AdaptiveIntegrate, PanelSinkSeesEveryPanelInAscendingOrder) {
+  const negf::BatchEval eval = [](const std::vector<double>& xs,
+                                  std::vector<std::vector<double>>& values) {
+    for (size_t k = 0; k < xs.size(); ++k) values[k] = {std::exp(xs[k])};
+  };
+  std::vector<negf::ErrorGroup> groups(1);
+  groups[0] = {0, 1, 1e-14};
+  double sum = 0.0, last_b = -1.0;
+  bool ordered = true;
+  const negf::PanelSink sink = [&](double a, double b, const std::vector<double>& contrib) {
+    ordered = ordered && a >= last_b - 1e-15;
+    last_b = b;
+    sum += contrib[0];
+  };
+  negf::AdaptiveOptions aopts;
+  aopts.rel_tol = 1e-9;
+  const auto res = negf::adaptive_integrate(0.0, 1.0, 1, {0.3}, groups, aopts, eval, sink);
+  EXPECT_TRUE(ordered);
+  // The sink contributions add up to exactly the reported integral (same
+  // summation order), which matches exp(1) - 1.
+  EXPECT_EQ(sum, res.integrals[0]);
+  EXPECT_NEAR(res.integrals[0], std::exp(1.0) - 1.0, 1e-8);
+}
+
+TEST(ScalarRgfWorkspace, ReuseAcrossSolvesMatchesFreshWorkspace) {
+  // A warm workspace carried across chains and energies must be stateless:
+  // every solve equals a fresh-workspace solve bit-for-bit.
+  negf::ScalarChain chain;
+  const size_t n = 24;
+  chain.onsite.resize(n);
+  chain.hopping.assign(n - 1, -2.7);
+  chain.gamma_left = 1.0;
+  chain.gamma_right = 1.0;
+  negf::ScalarRgfWorkspace warm;
+  negf::ScalarRgfResult r_warm, r_fresh;
+  for (int trial = 0; trial < 3; ++trial) {
+    for (size_t c = 0; c < n; ++c) {
+      chain.onsite[c] = -0.2 * trial + 0.05 * std::sin(0.3 * static_cast<double>(c));
+    }
+    for (const double e : {-0.4, 0.1, 0.35}) {
+      negf::scalar_rgf_solve(chain, e, 1e-3, warm, r_warm);
+      negf::ScalarRgfWorkspace fresh;
+      negf::scalar_rgf_solve(chain, e, 1e-3, fresh, r_fresh);
+      EXPECT_EQ(r_warm.transmission, r_fresh.transmission);
+      EXPECT_EQ(r_warm.transmission_reverse, r_fresh.transmission_reverse);
+      ASSERT_EQ(r_warm.spectral_left.size(), r_fresh.spectral_left.size());
+      for (size_t c = 0; c < r_warm.spectral_left.size(); ++c) {
+        EXPECT_EQ(r_warm.spectral_left[c], r_fresh.spectral_left[c]);
+        EXPECT_EQ(r_warm.spectral_right[c], r_fresh.spectral_right[c]);
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -13,9 +13,44 @@ namespace {
 
 using namespace gnrfet;
 
-TEST(EnergyGridEdge, RejectsDegenerateWindow) {
-  EXPECT_THROW(negf::make_energy_grid(1.0, 1.0, 0.01), std::invalid_argument);
+TEST(EnergyGridEdge, DegenerateWindowClampsToMinimalGrid) {
+  // lo >= hi no longer throws: the degenerate-window contract clamps to a
+  // minimal 3-point grid one step wide around the window midpoint.
+  const auto g = negf::make_energy_grid(1.0, 1.0, 0.01);
+  ASSERT_EQ(g.points.size(), 3u);
+  EXPECT_NEAR(g.points.front(), 1.0 - 0.005, 1e-12);
+  EXPECT_NEAR(g.points.back(), 1.0 + 0.005, 1e-12);
+  // Inverted windows clamp around their midpoint the same way.
+  const auto gi = negf::make_energy_grid(2.0, 1.0, 0.01);
+  ASSERT_EQ(gi.points.size(), 3u);
+  EXPECT_NEAR(gi.points.front(), 1.5 - 0.005, 1e-12);
+  EXPECT_NEAR(gi.points.back(), 1.5 + 0.005, 1e-12);
+}
+
+TEST(EnergyGridEdge, StepLargerThanWindowStillYieldsThreePoints) {
+  // A window narrower than one step widens to exactly one step; total
+  // trapezoid weight equals the (widened) window width.
+  const auto g = negf::make_energy_grid(0.0, 1e-3, 0.01);
+  ASSERT_EQ(g.points.size(), 3u);
+  EXPECT_LT(g.points.front(), g.points.back());
+  double total_w = 0.0;
+  for (const double w : g.weights) total_w += w;
+  EXPECT_NEAR(total_w, g.points.back() - g.points.front(), 1e-15);
+}
+
+TEST(EnergyGridEdge, NearEmptyWindowIntegratesToNearZero) {
+  // Near-empty windows are valid grids whose integrals are ~window-sized.
+  const auto g = negf::make_energy_grid(0.5, 0.5 + 1e-9, 1e-10);
+  ASSERT_GE(g.points.size(), 3u);
+  double integral = 0.0;
+  for (size_t i = 0; i < g.points.size(); ++i) integral += g.weights[i] * 1.0;
+  EXPECT_NEAR(integral, g.points.back() - g.points.front(), 1e-18);
+}
+
+TEST(EnergyGridEdge, RejectsNonPositiveOrNonFiniteStep) {
   EXPECT_THROW(negf::make_energy_grid(0.0, 1.0, -0.1), std::invalid_argument);
+  EXPECT_THROW(negf::make_energy_grid(0.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(negf::make_energy_grid(0.0, std::nan(""), 0.01), std::invalid_argument);
 }
 
 TEST(EnergyGridEdge, WindowCoversFullyOccupiedStatesUnderGateOverdrive) {

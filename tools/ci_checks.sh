@@ -10,7 +10,11 @@
 #             must parse and summarize through gnrfet_trace_report
 #   perf-smoke  Poisson PCG microbench on a reduced grid under every
 #               preconditioner; asserts IC(0) needs fewer total iterations
-#               than Jacobi (the point of the fast-solver work)
+#               than Jacobi (the point of the fast-solver work). Then the
+#               NEGF grid bench: the adaptive energy grid must do at most
+#               half the uniform RGF solves at <= 1e-4 relative current
+#               error, and the uniform grid must be bit-identical across
+#               GNRFET_THREADS=1 and 4.
 #   tidy      clang-tidy over all translation units (skipped when clang-tidy
 #             is not installed)
 #
@@ -106,6 +110,52 @@ for stage in "${STAGES[@]}"; do
       echo "perf-smoke: jacobi=$JAC ic0=$IC0 total PCG iterations"
       [ "$IC0" -lt "$JAC" ] ||
         { echo "perf-smoke: ic0 ($IC0) not below jacobi ($JAC)" >&2; exit 1; }
+
+      # NEGF energy-grid smoke: adaptive must halve the uniform RGF solve
+      # count while holding <= 1e-4 relative current error against the
+      # 4x-finer uniform reference (reduced sweep to stay in CI budget).
+      cmake --build "$DIR" -j "$JOBS" --target bench_negf_grid
+      (cd "$DIR" && GNRFET_BENCH_NEGF_NCOL=32 GNRFET_BENCH_NEGF_NVD=3 ./bench/bench_negf_grid)
+      NEGF_JSON="$DIR/bench_out/BENCH_negf.json"
+      test -s "$NEGF_JSON" || { echo "perf-smoke: no BENCH_negf.json written" >&2; exit 1; }
+      # One {"grid":...,"rgf_solves":...,...,"max_rel_current_err":...} per line.
+      solves() {
+        sed -n "s/.*\"grid\":\"$1\",\"rgf_solves\":\([0-9]*\).*/\1/p" "$NEGF_JSON"
+      }
+      relerr() {
+        sed -n "s/.*\"grid\":\"$1\".*\"max_rel_current_err\":\([0-9.e+-]*\),.*/\1/p" "$NEGF_JSON"
+      }
+      UNI="$(solves uniform)"; ADA="$(solves adaptive)"; ERR="$(relerr adaptive)"
+      [ -n "$UNI" ] && [ -n "$ADA" ] && [ -n "$ERR" ] ||
+        { echo "perf-smoke: missing uniform/adaptive records in $NEGF_JSON" >&2; exit 1; }
+      echo "perf-smoke: uniform=$UNI adaptive=$ADA RGF solves, adaptive max |dI/I| = $ERR"
+      [ $((2 * ADA)) -le "$UNI" ] ||
+        { echo "perf-smoke: adaptive ($ADA) not <= half of uniform ($UNI)" >&2; exit 1; }
+      awk -v e="$ERR" 'BEGIN { exit (e <= 1e-4) ? 0 : 1 }' ||
+        { echo "perf-smoke: adaptive current error $ERR above 1e-4" >&2; exit 1; }
+
+      # Uniform grid thread-count determinism: the pinned pre-adaptive
+      # behavior must not depend on GNRFET_THREADS. The bench emits an
+      # FNV-1a hash over the raw sweep currents; equal hashes mean
+      # bit-identical doubles.
+      for t in 1 4; do
+        (cd "$DIR" && rm -rf "bench_out_t$t" && mkdir -p "bench_out_t$t" &&
+          cd "bench_out_t$t" && GNRFET_THREADS=$t GNRFET_BENCH_NEGF_NCOL=32 \
+          GNRFET_BENCH_NEGF_NVD=3 ../bench/bench_negf_grid >/dev/null)
+      done
+      t_hash() {
+        sed -n "s/.*\"grid\":\"$2\".*\"current_hash\":\"\([0-9a-f]*\)\".*/\1/p" \
+          "$DIR/bench_out_t$1/bench_out/BENCH_negf.json"
+      }
+      H1="$(t_hash 1 uniform)"; H4="$(t_hash 4 uniform)"
+      A1="$(t_hash 1 adaptive)"; A4="$(t_hash 4 adaptive)"
+      [ -n "$H1" ] && [ -n "$H4" ] && [ -n "$A1" ] && [ -n "$A4" ] ||
+        { echo "perf-smoke: missing thread-sweep current hashes" >&2; exit 1; }
+      [ "$H1" = "$H4" ] ||
+        { echo "perf-smoke: uniform grid not thread-deterministic ($H1 vs $H4)" >&2; exit 1; }
+      [ "$A1" = "$A4" ] ||
+        { echo "perf-smoke: adaptive grid not thread-deterministic ($A1 vs $A4)" >&2; exit 1; }
+      echo "perf-smoke: uniform and adaptive currents bit-identical across GNRFET_THREADS=1/4"
       ;;
     tidy)
       if ! command -v clang-tidy >/dev/null 2>&1; then
