@@ -67,6 +67,7 @@ const char* kCounterNames[kNumCounters] = {
     "gummel_iterations", "negf_energy_points",  "rgf_solves",
     "negf_energy_points_saved",
     "poisson_newton_iterations", "pcg_iterations", "pcg_precond_setups",
+    "mg_vcycles",
     "table_cache_hits",  "table_cache_misses",  "mna_factorizations",
     "transient_steps",
 };
@@ -75,6 +76,7 @@ const char* kHistogramNames[kNumHistograms] = {
     "gummel_iterations_per_bias",  "newton_iterations_per_solve",
     "pcg_iterations_per_solve",    "pcg_iterations_jacobi",
     "pcg_iterations_ssor",         "pcg_iterations_ic0",
+    "pcg_iterations_mg",
     "energy_points_per_transport", "adaptive_refinement_depth",
 };
 

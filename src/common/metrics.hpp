@@ -30,6 +30,7 @@ enum class Counter {
   kPoissonNewtonIterations,   ///< poisson: damped-Newton iterations
   kPcgIterations,             ///< linalg: PCG iterations
   kPcgPrecondSetups,          ///< linalg: preconditioner factor/refactor passes
+  kMgVcycles,                 ///< poisson: multigrid V-cycles (apply + standalone)
   kTableCacheHits,            ///< device: bias tables served from disk cache
   kTableCacheMisses,          ///< device: bias tables generated cold
   kMnaFactorizations,         ///< circuit: dense LU factorizations of the MNA Jacobian
@@ -52,6 +53,7 @@ enum class Histogram {
   kPcgIterationsJacobi,          ///< linalg: PCG iterations per Jacobi-preconditioned solve
   kPcgIterationsSsor,            ///< linalg: PCG iterations per SSOR-preconditioned solve
   kPcgIterationsIc0,             ///< linalg: PCG iterations per IC(0)-preconditioned solve
+  kPcgIterationsMg,              ///< linalg: PCG iterations per multigrid-preconditioned solve
   kEnergyPointsPerTransport,     ///< negf: energy grid size per transport solve
   kAdaptiveRefinementDepth,      ///< negf: panel depth at retirement in adaptive integration
   kCount

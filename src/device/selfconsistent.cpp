@@ -15,7 +15,8 @@ SelfConsistentSolver::SelfConsistentSolver(const DeviceGeometry& geometry,
     : geo_(geometry), opts_(opts) {}
 
 DeviceSolution SelfConsistentSolver::solve(const BiasPoint& bias,
-                                           const DeviceSolution* warm_start) const {
+                                           const DeviceSolution* warm_start,
+                                           negf::TransportContext* transport_ctx) const {
   trace::Span span("device", "solve_bias_point");
   GNRFET_REQUIRE("device", "finite-bias", std::isfinite(bias.vg) && std::isfinite(bias.vd),
                  strings::format("bias point (vg = %g, vd = %g) contains NaN/inf", bias.vg,
@@ -75,7 +76,10 @@ DeviceSolution SelfConsistentSolver::solve(const BiasPoint& bias,
 
   // Adaptive-grid warm start shared by the Gummel iterations of this bias
   // point: each transport solve reuses the previous converged panel edges.
-  negf::TransportContext tctx;
+  // A caller-owned context extends the reuse across bias points on the
+  // same warm-start chain (table columns).
+  negf::TransportContext local_ctx;
+  negf::TransportContext& tctx = transport_ctx != nullptr ? *transport_ctx : local_ctx;
 
   poisson::NonlinearOptions popt;
   popt.thermal_voltage_V = opts_.kT_eV;

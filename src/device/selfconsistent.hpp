@@ -41,7 +41,14 @@ class SelfConsistentSolver {
 
   /// Solve one bias point. `warm_start` (may be nullptr) provides the
   /// initial potential, typically the solution of a neighbouring bias.
-  DeviceSolution solve(const BiasPoint& bias, const DeviceSolution* warm_start = nullptr) const;
+  /// `transport_ctx` (may be nullptr) is caller-owned adaptive energy-grid
+  /// state threaded through every transport solve of this bias point: on
+  /// entry it seeds the panel edges (e.g. from the previous bias on the
+  /// same warm-start chain), on exit it holds the converged edges for the
+  /// next point. Seeding changes results only within the adaptive
+  /// tolerance; the uniform grid ignores it entirely.
+  DeviceSolution solve(const BiasPoint& bias, const DeviceSolution* warm_start = nullptr,
+                       negf::TransportContext* transport_ctx = nullptr) const;
 
   const SolveOptions& options() const { return opts_; }
 

@@ -36,6 +36,10 @@ std::string table_cache_payload(const DeviceSpec& spec, const TableGenOptions& o
   // bit-identical to the pre-adaptive solver.
   if (negf::negf_grid_from_env() == negf::NegfGridKind::kAdaptive) {
     os << ";grid=adaptive";
+    // Cross-bias context chaining reseeds the adaptive panels, which moves
+    // table values within tolerance — distinct cache entries. Uniform-mode
+    // payloads never carry the flag: the context is ignored there.
+    if (opts.warm_bias_context) os << ";ctx=bias";
   }
   return os.str();
 }
@@ -171,17 +175,30 @@ DeviceTable generate_device_table(const DeviceSpec& spec, const TableGenOptions&
   // is then independent, so phase 2 fans the intra-column VG chains out
   // across threads. The warm-start graph is identical to the serial walk,
   // so the table is bit-identical for any thread count.
+  // The adaptive TransportContext follows the same chains: one context
+  // walks the serial head row and is snapshotted per column; each VG chain
+  // then advances its own copy. The context graph mirrors the warm-start
+  // graph exactly, so chaining preserves thread-count bit-identity.
+  const bool chain_ctx = opts.warm_bias_context &&
+                         negf::negf_grid_from_env() == negf::NegfGridKind::kAdaptive;
   const size_t nvd = table.vd.size();
   std::vector<DeviceSolution> heads(nvd);
+  std::vector<negf::TransportContext> head_ctx(chain_ctx ? nvd : 0);
+  negf::TransportContext row_ctx;
   for (size_t id = 0; id < nvd; ++id) {
-    heads[id] = solver.solve({table.vg[0], table.vd[id]}, id > 0 ? &heads[id - 1] : nullptr);
+    heads[id] = solver.solve({table.vg[0], table.vd[id]}, id > 0 ? &heads[id - 1] : nullptr,
+                             chain_ctx ? &row_ctx : nullptr);
+    if (chain_ctx) head_ctx[id] = row_ctx;
     table.current_A[id] = heads[id].current_A;
     table.charge_C[id] = -constants::kElementaryCharge * heads[id].net_electrons;
   }
   par::parallel_for(nvd, [&](size_t id) {
     DeviceSolution prev = heads[id];
+    negf::TransportContext col_ctx;
+    if (chain_ctx) col_ctx = std::move(head_ctx[id]);
     for (size_t ig = 1; ig < table.vg.size(); ++ig) {
-      DeviceSolution sol = solver.solve({table.vg[ig], table.vd[id]}, &prev);
+      DeviceSolution sol = solver.solve({table.vg[ig], table.vd[id]}, &prev,
+                                        chain_ctx ? &col_ctx : nullptr);
       const size_t row = ig * nvd + id;
       table.current_A[row] = sol.current_A;
       table.charge_C[row] = -constants::kElementaryCharge * sol.net_electrons;

@@ -31,6 +31,13 @@ struct TableGenOptions {
   size_t vd_points = 16;
   SolveOptions solve;
   bool use_cache = true;
+  /// Chain the adaptive energy-grid TransportContext across bias points
+  /// along each warm-start chain (column heads serially, then up each VG
+  /// column): every solve seeds its panel edges from the previous bias
+  /// instead of the coarse grid. Values move within the adaptive
+  /// tolerance (cache entries get their own key); the uniform grid is
+  /// unaffected. Tables stay bit-identical for any GNRFET_THREADS.
+  bool warm_bias_context = true;
 };
 
 /// Serializable identity of (spec, options); the cache key.

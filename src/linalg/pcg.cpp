@@ -31,6 +31,7 @@ metrics::Histogram histogram_for(const Preconditioner* pc) {
     return metrics::Histogram::kPcgIterationsJacobi;
   }
   if (std::strcmp(pc->name(), "ssor") == 0) return metrics::Histogram::kPcgIterationsSsor;
+  if (std::strcmp(pc->name(), "mg") == 0) return metrics::Histogram::kPcgIterationsMg;
   return metrics::Histogram::kPcgIterationsIc0;
 }
 

@@ -280,8 +280,9 @@ PreconditionerKind preconditioner_kind_from_string(const std::string& s) {
   if (s == "jacobi") return PreconditionerKind::kJacobi;
   if (s == "ssor") return PreconditionerKind::kSsor;
   if (s == "ic0") return PreconditionerKind::kIc0;
+  if (s == "mg") return PreconditionerKind::kMg;
   throw std::invalid_argument("unknown preconditioner '" + s +
-                              "' (expected jacobi, ssor, or ic0)");
+                              "' (expected jacobi, ssor, ic0, or mg)");
 }
 
 const char* to_string(PreconditionerKind kind) {
@@ -292,6 +293,8 @@ const char* to_string(PreconditionerKind kind) {
       return "ssor";
     case PreconditionerKind::kIc0:
       return "ic0";
+    case PreconditionerKind::kMg:
+      return "mg";
   }
   return "unknown";
 }
@@ -304,6 +307,10 @@ std::unique_ptr<Preconditioner> make_preconditioner(PreconditionerKind kind) {
       return std::make_unique<SsorPreconditioner>();
     case PreconditionerKind::kIc0:
       return std::make_unique<IncompleteCholesky>();
+    case PreconditionerKind::kMg:
+      throw std::invalid_argument(
+          "make_preconditioner: mg needs grid geometry; construct "
+          "poisson::MultigridPreconditioner from the Assembly instead");
   }
   throw std::invalid_argument("make_preconditioner: unknown kind");
 }

@@ -124,13 +124,17 @@ class IncompleteCholesky final : public Preconditioner {
   double shift_ = 0.0;
 };
 
-enum class PreconditionerKind { kJacobi, kSsor, kIc0 };
+enum class PreconditionerKind { kJacobi, kSsor, kIc0, kMg };
 
-/// Parses "jacobi" | "ssor" | "ic0"; throws std::invalid_argument otherwise.
+/// Parses "jacobi" | "ssor" | "ic0" | "mg"; throws std::invalid_argument
+/// otherwise.
 PreconditionerKind preconditioner_kind_from_string(const std::string& s);
 
 const char* to_string(PreconditionerKind kind);
 
+/// Builds a matrix-only preconditioner. kMg throws: the geometric
+/// multigrid hierarchy needs the grid geometry, so it is constructed in
+/// the poisson layer (poisson::MultigridPreconditioner) instead.
 std::unique_ptr<Preconditioner> make_preconditioner(PreconditionerKind kind);
 
 }  // namespace gnrfet::linalg

@@ -52,10 +52,13 @@ struct TransportOptions {
   double adaptive_rel_tol = 1e-4;
 };
 
-/// Reusable state for repeated transport solves of the *same bias point*
-/// (Gummel iterations): the converged adaptive panel edges of each mode
-/// warm-start the next solve, so later iterations skip re-discovering the
-/// refinement structure. reset() when moving to a new bias point. The
+/// Reusable state for repeated transport solves: the converged adaptive
+/// panel edges of each mode warm-start the next solve, so later solves
+/// skip re-discovering the refinement structure. Shared across the Gummel
+/// iterations of one bias point, and — when the caller chains it through
+/// SelfConsistentSolver::solve along a warm-start chain — across
+/// neighbouring bias points too (tablegen's column walks). reset() when
+/// jumping to an unrelated operating point. The
 /// uniform path ignores it. Note the Simpson refinement identity: total
 /// evaluations are 4 * retired_panels + 1 whatever the starting grid, so
 /// warm-starting trades refinement rounds (latency, batch sizes) for none

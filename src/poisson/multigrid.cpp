@@ -1,0 +1,411 @@
+#include "poisson/multigrid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+
+namespace gnrfet::poisson {
+
+namespace {
+
+/// Per-axis interpolation stencil of a fine index against the coarse
+/// axis: one entry when the fine node coincides with a coarse node (even
+/// index, weight 1), two half-weight entries between coarse nodes, and a
+/// clamp to the last coarse node when an even fine extent leaves the far
+/// boundary without a coincident partner.
+struct AxisStencil {
+  size_t idx[2];
+  double w[2];
+  int count;
+};
+
+AxisStencil axis_stencil(size_t i, size_t nc) {
+  if (i % 2 == 0) return {{i / 2, 0}, {1.0, 0.0}, 1};
+  const size_t lo = (i - 1) / 2;
+  if (lo + 1 >= nc) return {{nc - 1, 0}, {1.0, 0.0}, 1};
+  return {{lo, lo + 1}, {0.5, 0.5}, 2};
+}
+
+void decompose(size_t node, size_t ny, size_t nz, size_t& i, size_t& j, size_t& k) {
+  k = node % nz;
+  j = (node / nz) % ny;
+  i = node / (nz * ny);
+}
+
+}  // namespace
+
+const linalg::SparseMatrix& MultigridHierarchy::matrix_at(size_t level) const {
+  return level == 0 ? *fine_ : *levels_[level].op;
+}
+
+MultigridHierarchy::MultigridHierarchy(const Assembly& assembly, const MultigridOptions& opts)
+    : opts_(opts) {
+  trace::Span span("poisson", "mg_build_hierarchy");
+  if (opts_.pre_sweeps < 1 || opts_.post_sweeps < 1 || opts_.max_levels < 1) {
+    throw std::invalid_argument("MultigridHierarchy: sweeps and levels must be positive");
+  }
+  const GridSpec& g = assembly.domain().spec();
+
+  // Level 0 mirrors the assembly's free-node numbering exactly.
+  Level fine;
+  fine.nx = g.nx;
+  fine.ny = g.ny;
+  fine.nz = g.nz;
+  fine.free_index.resize(g.num_nodes());
+  for (size_t node = 0; node < g.num_nodes(); ++node) {
+    fine.free_index[node] = assembly.free_index(node);
+  }
+  fine.free_nodes.resize(assembly.num_free());
+  for (size_t f = 0; f < assembly.num_free(); ++f) fine.free_nodes[f] = assembly.free_node(f);
+  fine.pristine_diag = assembly.matrix().diagonal();
+  levels_.push_back(std::move(fine));
+
+  // Coarsen while the level is still large enough to be worth a direct
+  // solve and every axis can halve.
+  while (static_cast<int>(levels_.size()) < opts_.max_levels &&
+         levels_.back().free_nodes.size() > opts_.coarsest_max_unknowns) {
+    Level& f = levels_.back();
+    const size_t ncx = (f.nx + 1) / 2, ncy = (f.ny + 1) / 2, ncz = (f.nz + 1) / 2;
+    if (ncx < 2 || ncy < 2 || ncz < 2) break;
+
+    Level c;
+    c.nx = ncx;
+    c.ny = ncy;
+    c.nz = ncz;
+    c.free_index.assign(ncx * ncy * ncz, SIZE_MAX);
+    for (size_t ci = 0; ci < ncx; ++ci) {
+      for (size_t cj = 0; cj < ncy; ++cj) {
+        for (size_t ck = 0; ck < ncz; ++ck) {
+          // A coarse node inherits Dirichlet status from its coincident
+          // fine node.
+          const size_t fnode = ((2 * ci) * f.ny + 2 * cj) * f.nz + 2 * ck;
+          if (f.free_index[fnode] == SIZE_MAX) continue;
+          const size_t cnode = (ci * ncy + cj) * ncz + ck;
+          c.free_index[cnode] = c.free_nodes.size();
+          c.free_nodes.push_back(cnode);
+        }
+      }
+    }
+    if (c.free_nodes.empty() || c.free_nodes.size() >= f.free_nodes.size()) break;
+
+    // Trilinear prolongation between free-node index spaces, CSR over the
+    // fine unknowns. Ascending axis loops keep each row's columns sorted.
+    const size_t nf = f.free_nodes.size();
+    f.p_ptr.assign(nf + 1, 0);
+    for (size_t u = 0; u < nf; ++u) {
+      f.p_ptr[u] = f.p_col.size();
+      size_t i, j, k;
+      decompose(f.free_nodes[u], f.ny, f.nz, i, j, k);
+      const AxisStencil sx = axis_stencil(i, ncx);
+      const AxisStencil sy = axis_stencil(j, ncy);
+      const AxisStencil sz = axis_stencil(k, ncz);
+      for (int a = 0; a < sx.count; ++a) {
+        for (int b = 0; b < sy.count; ++b) {
+          for (int d = 0; d < sz.count; ++d) {
+            const size_t cnode = (sx.idx[a] * ncy + sy.idx[b]) * ncz + sz.idx[d];
+            const size_t cu = c.free_index[cnode];
+            if (cu == SIZE_MAX) continue;  // zero correction on electrodes
+            f.p_col.push_back(cu);
+            f.p_val.push_back(sx.w[a] * sy.w[b] * sz.w[d]);
+          }
+        }
+      }
+    }
+    f.p_ptr[nf] = f.p_col.size();
+
+    // Restriction = exact transpose, built with a counting pass so each
+    // row's columns come out ascending.
+    const size_t nc = c.free_nodes.size();
+    f.r_ptr.assign(nc + 1, 0);
+    for (const size_t cu : f.p_col) ++f.r_ptr[cu + 1];
+    for (size_t I = 0; I < nc; ++I) f.r_ptr[I + 1] += f.r_ptr[I];
+    f.r_col.assign(f.p_col.size(), 0);
+    f.r_val.assign(f.p_col.size(), 0.0);
+    std::vector<size_t> next(f.r_ptr.begin(), f.r_ptr.end() - 1);
+    for (size_t u = 0; u < nf; ++u) {
+      for (size_t t = f.p_ptr[u]; t < f.p_ptr[u + 1]; ++t) {
+        const size_t slot = next[f.p_col[t]]++;
+        f.r_col[slot] = u;
+        f.r_val[slot] = f.p_val[t];
+      }
+    }
+
+    // Galerkin coarse operator A_c = P^T A_f P from the pristine fine
+    // values, accumulated row-by-row through a marker array. Fixed loop
+    // order makes the construction bit-deterministic.
+    const linalg::SparseMatrix& af =
+        levels_.size() == 1 ? assembly.matrix() : *levels_.back().op;
+    linalg::SparseBuilder builder(nc);
+    std::vector<double> acc(nc, 0.0);
+    std::vector<size_t> mark(nc, SIZE_MAX);
+    std::vector<size_t> touched;
+    for (size_t I = 0; I < nc; ++I) {
+      touched.clear();
+      for (size_t t = f.r_ptr[I]; t < f.r_ptr[I + 1]; ++t) {
+        const size_t u = f.r_col[t];
+        const double w1 = f.r_val[t];
+        for (size_t ka = af.row_ptr()[u]; ka < af.row_ptr()[u + 1]; ++ka) {
+          const size_t v = af.col_idx()[ka];
+          const double w1a = w1 * af.values()[ka];
+          for (size_t tp = f.p_ptr[v]; tp < f.p_ptr[v + 1]; ++tp) {
+            const size_t J = f.p_col[tp];
+            if (mark[J] != I) {
+              mark[J] = I;
+              acc[J] = 0.0;
+              touched.push_back(J);
+            }
+            acc[J] += w1a * f.p_val[tp];
+          }
+        }
+      }
+      std::sort(touched.begin(), touched.end());
+      for (const size_t J : touched) builder.add(I, J, acc[J]);
+    }
+    c.op = std::make_unique<linalg::SparseMatrix>(builder);
+    c.pristine_diag = c.op->diagonal();
+    levels_.push_back(std::move(c));
+  }
+
+  // Red-black orderings by grid-parity of (i+j+k), ascending within each
+  // colour; the cycle reverses them exactly for the post-smooth.
+  for (Level& lev : levels_) {
+    for (size_t u = 0; u < lev.free_nodes.size(); ++u) {
+      size_t i, j, k;
+      decompose(lev.free_nodes[u], lev.ny, lev.nz, i, j, k);
+      ((i + j + k) % 2 == 0 ? lev.red : lev.black).push_back(u);
+    }
+    const size_t n = lev.free_nodes.size();
+    lev.x.resize(n);
+    lev.b.resize(n);
+    lev.r.resize(n);
+    lev.shift.assign(n, 0.0);
+  }
+
+  refresh(assembly.matrix());
+}
+
+void MultigridHierarchy::refresh(const linalg::SparseMatrix& fine) {
+  trace::Span span("poisson", "mg_refresh");
+  const size_t n0 = levels_[0].free_nodes.size();
+  if (fine.dim() != n0) {
+    throw std::invalid_argument("MultigridHierarchy::refresh: operator dimension changed");
+  }
+  fine_ = &fine;
+  if (fine_pristine_diag_.empty()) fine_pristine_diag_ = levels_[0].pristine_diag;
+
+  // Propagate the Newton diagonal shift down the hierarchy by restriction
+  // lumping: d_c(I) = sum_f P(f, I)^2 d_f(f). A pure function of the
+  // incoming matrix, so refactor-after-updates == fresh factor.
+  for (size_t i = 0; i < n0; ++i) {
+    levels_[0].shift[i] = fine.diagonal_at(i) - fine_pristine_diag_[i];
+  }
+  for (size_t l = 0; l + 1 < levels_.size(); ++l) {
+    const Level& f = levels_[l];
+    Level& c = levels_[l + 1];
+    for (size_t I = 0; I < c.free_nodes.size(); ++I) {
+      double s = 0.0;
+      for (size_t t = f.r_ptr[I]; t < f.r_ptr[I + 1]; ++t) {
+        s += f.r_val[t] * f.r_val[t] * f.shift[f.r_col[t]];
+      }
+      c.shift[I] = s;
+      c.op->set_diagonal(I, c.pristine_diag[I] + s);
+    }
+  }
+
+  // Dense LU on the coarsest level (the fine operator itself when no
+  // coarsening was possible).
+  const linalg::SparseMatrix& ac = matrix_at(levels_.size() - 1);
+  const size_t nc = ac.dim();
+  linalg::DMatrix dense(nc, nc, 0.0);
+  for (size_t row = 0; row < nc; ++row) {
+    for (size_t k = ac.row_ptr()[row]; k < ac.row_ptr()[row + 1]; ++k) {
+      dense(row, ac.col_idx()[k]) = ac.values()[k];
+    }
+  }
+  coarse_lu_ = std::make_unique<linalg::LUReal>(std::move(dense));
+}
+
+void MultigridHierarchy::gs_sweep(size_t level, const std::vector<double>& b,
+                                  std::vector<double>& x, bool reversed) const {
+  const linalg::SparseMatrix& a = matrix_at(level);
+  const auto& row_ptr = a.row_ptr();
+  const auto& col = a.col_idx();
+  const double* val = a.values().data();
+  const Level& lev = levels_[level];
+  const auto relax = [&](size_t i) {
+    double s = 0.0;
+    for (size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) s += val[k] * x[col[k]];
+    x[i] += (b[i] - s) / a.diagonal_at(i);
+  };
+  if (!reversed) {
+    for (const size_t i : lev.red) relax(i);
+    for (const size_t i : lev.black) relax(i);
+  } else {
+    // Exact adjoint of the forward sweep: same nodes, opposite order, so
+    // the V-cycle stays a symmetric operator (an SPD PCG preconditioner).
+    for (size_t t = lev.black.size(); t-- > 0;) relax(lev.black[t]);
+    for (size_t t = lev.red.size(); t-- > 0;) relax(lev.red[t]);
+  }
+}
+
+void MultigridHierarchy::residual(size_t level, const std::vector<double>& b,
+                                  const std::vector<double>& x, std::vector<double>& r) const {
+  const linalg::SparseMatrix& a = matrix_at(level);
+  const auto& row_ptr = a.row_ptr();
+  const auto& col = a.col_idx();
+  const double* val = a.values().data();
+  r.resize(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    double s = 0.0;
+    for (size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) s += val[k] * x[col[k]];
+    r[i] = b[i] - s;
+  }
+}
+
+void MultigridHierarchy::cycle(size_t level) const {
+  if (level == 0) metrics::add(metrics::Counter::kMgVcycles);
+  const Level& lev = levels_[level];
+  if (level + 1 == levels_.size()) {
+    lev.x = coarse_lu_->solve(lev.b);
+    return;
+  }
+  std::fill(lev.x.begin(), lev.x.end(), 0.0);
+  for (int s = 0; s < opts_.pre_sweeps; ++s) gs_sweep(level, lev.b, lev.x, false);
+  residual(level, lev.b, lev.x, lev.r);
+
+  const Level& coarse = levels_[level + 1];
+  for (size_t I = 0; I < coarse.free_nodes.size(); ++I) {
+    double s = 0.0;
+    for (size_t t = lev.r_ptr[I]; t < lev.r_ptr[I + 1]; ++t) {
+      s += lev.r_val[t] * lev.r[lev.r_col[t]];
+    }
+    coarse.b[I] = s;
+  }
+  cycle(level + 1);
+  for (size_t u = 0; u < lev.free_nodes.size(); ++u) {
+    double s = 0.0;
+    for (size_t t = lev.p_ptr[u]; t < lev.p_ptr[u + 1]; ++t) {
+      s += lev.p_val[t] * coarse.x[lev.p_col[t]];
+    }
+    lev.x[u] += s;
+  }
+  for (int s = 0; s < opts_.post_sweeps; ++s) gs_sweep(level, lev.b, lev.x, true);
+}
+
+void MultigridHierarchy::vcycle_apply(const std::vector<double>& r,
+                                      std::vector<double>& z) const {
+  const size_t n = levels_[0].free_nodes.size();
+  if (r.size() != n) {
+    throw std::invalid_argument("MultigridHierarchy::vcycle_apply: size mismatch");
+  }
+  levels_[0].b = r;
+  cycle(0);
+  z = levels_[0].x;
+}
+
+MultigridSolveResult MultigridHierarchy::solve(const std::vector<double>& b,
+                                               std::vector<double>& x, double rel_tolerance,
+                                               double abs_tolerance, int max_cycles) const {
+  trace::Span span("poisson", "multigrid_solve");
+  const size_t n = levels_[0].free_nodes.size();
+  if (b.size() != n) throw std::invalid_argument("multigrid_solve: rhs size mismatch");
+  if (x.size() != n) x.assign(n, 0.0);
+
+  double b_norm2 = 0.0;
+  for (const double v : b) b_norm2 += v * v;
+  const double b_norm = std::sqrt(std::max(b_norm2, 1e-300));
+
+  MultigridSolveResult result;
+  std::vector<double> res(n);
+  for (int it = 0; it <= max_cycles; ++it) {
+    residual(0, b, x, res);
+    double r_norm2 = 0.0;
+    for (const double v : res) r_norm2 += v * v;
+    result.residual_norm = std::sqrt(r_norm2);
+    result.cycles = it;
+    if (result.residual_norm <= rel_tolerance * b_norm ||
+        result.residual_norm <= abs_tolerance) {
+      result.converged = true;
+      GNRFET_ENSURE("poisson", "finite-solution", contracts::all_finite(x),
+                    "multigrid converged to a solution containing NaN/inf");
+      return result;
+    }
+    if (it == max_cycles) break;
+    levels_[0].b = res;
+    cycle(0);
+    for (size_t i = 0; i < n; ++i) x[i] += levels_[0].x[i];
+  }
+  return result;
+}
+
+std::vector<double> MultigridHierarchy::prolongate(size_t level,
+                                                   const std::vector<double>& coarse) const {
+  const Level& lev = levels_.at(level);
+  if (level + 1 >= levels_.size() || coarse.size() != levels_[level + 1].free_nodes.size()) {
+    throw std::invalid_argument("MultigridHierarchy::prolongate: bad level/size");
+  }
+  std::vector<double> fine(lev.free_nodes.size(), 0.0);
+  for (size_t u = 0; u < fine.size(); ++u) {
+    double s = 0.0;
+    for (size_t t = lev.p_ptr[u]; t < lev.p_ptr[u + 1]; ++t) {
+      s += lev.p_val[t] * coarse[lev.p_col[t]];
+    }
+    fine[u] = s;
+  }
+  return fine;
+}
+
+std::vector<double> MultigridHierarchy::restrict_residual(size_t level,
+                                                          const std::vector<double>& fine) const {
+  const Level& lev = levels_.at(level);
+  if (level + 1 >= levels_.size() || fine.size() != lev.free_nodes.size()) {
+    throw std::invalid_argument("MultigridHierarchy::restrict_residual: bad level/size");
+  }
+  std::vector<double> coarse(levels_[level + 1].free_nodes.size(), 0.0);
+  for (size_t I = 0; I < coarse.size(); ++I) {
+    double s = 0.0;
+    for (size_t t = lev.r_ptr[I]; t < lev.r_ptr[I + 1]; ++t) {
+      s += lev.r_val[t] * fine[lev.r_col[t]];
+    }
+    coarse[I] = s;
+  }
+  return coarse;
+}
+
+// -------------------------------------------------- preconditioner facade
+
+MultigridPreconditioner::MultigridPreconditioner(const Assembly& assembly,
+                                                 const MultigridOptions& opts)
+    : hierarchy_(assembly, opts) {}
+
+void MultigridPreconditioner::factor(const linalg::SparseMatrix& a) {
+  hierarchy_.refresh(a);
+  metrics::add(metrics::Counter::kPcgPrecondSetups);
+}
+
+void MultigridPreconditioner::refactor(const linalg::SparseMatrix& a) { factor(a); }
+
+void MultigridPreconditioner::apply(const std::vector<double>& r,
+                                    std::vector<double>& z) const {
+  hierarchy_.vcycle_apply(r, z);
+}
+
+MultigridSolveResult MultigridPreconditioner::solve(const std::vector<double>& b,
+                                                    std::vector<double>& x,
+                                                    double rel_tolerance, double abs_tolerance,
+                                                    int max_cycles) const {
+  return hierarchy_.solve(b, x, rel_tolerance, abs_tolerance, max_cycles);
+}
+
+MultigridSolveResult multigrid_solve(const Assembly& assembly, const std::vector<double>& b,
+                                     std::vector<double>& x, double rel_tolerance,
+                                     double abs_tolerance, int max_cycles) {
+  const MultigridHierarchy hierarchy(assembly);
+  return hierarchy.solve(b, x, rel_tolerance, abs_tolerance, max_cycles);
+}
+
+}  // namespace gnrfet::poisson

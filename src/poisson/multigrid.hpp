@@ -1,0 +1,152 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "linalg/lu.hpp"
+#include "linalg/preconditioner.hpp"
+#include "linalg/sparse.hpp"
+#include "poisson/assembly.hpp"
+
+/// Geometric multigrid for the structured-grid Poisson operator.
+///
+/// The hierarchy coarsens the rectilinear device grid by a factor of two
+/// per axis (coarse node (I, J, K) sits on fine node (2I, 2J, 2K); the
+/// far boundary clamps to the nearest coarse node when the fine extent is
+/// even). Prolongation is trilinear interpolation between free-node index
+/// spaces — contributions from electrode (Dirichlet) coarse nodes are
+/// dropped, since the correction there is zero — and restriction is its
+/// exact transpose, which on this vertex-centred grid is full weighting
+/// up to scale. Coarse operators are Galerkin triple products
+/// A_c = P^T A_f P of the pristine assembled Laplacian, so Dirichlet
+/// elimination and material interfaces are inherited from the fine
+/// stencil without re-discretising coarse Domains.
+///
+/// The V-cycle smooths with red-black Gauss-Seidel in a fixed sweep order
+/// (red ascending then black ascending before coarsening; the reverse
+/// after), making one cycle a symmetric linear operator — a valid SPD
+/// preconditioner for PCG — and bit-deterministic for any GNRFET_THREADS
+/// (every sweep runs on one thread; parallelism in this codebase is
+/// across solves). The coarsest level is solved by dense LU.
+///
+/// Newton's charge linearisation only shifts the fine diagonal;
+/// refresh() re-smooths that shift through the hierarchy by restriction
+/// lumping (d_c(I) = sum_f P(f,I)^2 d_f(f)) and refactors the coarsest
+/// LU. The refresh depends only on the matrix passed in, never on call
+/// history, so refactor() after any sequence of updates is bit-identical
+/// to a fresh factor() of the same matrix.
+namespace gnrfet::poisson {
+
+struct MultigridOptions {
+  int pre_sweeps = 1;               ///< red-black GS sweeps before coarsening
+  int post_sweeps = 1;              ///< reversed sweeps after prolongation
+  size_t coarsest_max_unknowns = 200;  ///< stop coarsening at this size
+  int max_levels = 12;
+};
+
+struct MultigridSolveResult {
+  bool converged = false;
+  int cycles = 0;
+  double residual_norm = 0.0;
+};
+
+class MultigridHierarchy {
+ public:
+  /// Builds the full hierarchy (transfer operators, Galerkin coarse
+  /// matrices, red-black orderings, coarsest LU) from the pristine
+  /// assembled operator. The assembly must outlive the hierarchy.
+  explicit MultigridHierarchy(const Assembly& assembly, const MultigridOptions& opts = {});
+
+  /// Numeric-only refresh after diagonal edits to the fine operator (the
+  /// Newton loop's only mutation). `fine` must share the assembly
+  /// matrix's sparsity pattern and must outlive the next refresh: level-0
+  /// sweeps read its values in place. Deterministic function of `fine`
+  /// alone — repeated refreshes are bit-identical to a fresh build.
+  void refresh(const linalg::SparseMatrix& fine);
+
+  /// z = M^{-1} r through one symmetric V-cycle (zero initial guess).
+  void vcycle_apply(const std::vector<double>& r, std::vector<double>& z) const;
+
+  /// Standalone solver: iterate V-cycles on A x = b until the residual
+  /// 2-norm drops below rel_tolerance * |b| (or abs_tolerance). `x` is
+  /// the warm start and holds the solution on return.
+  MultigridSolveResult solve(const std::vector<double>& b, std::vector<double>& x,
+                             double rel_tolerance = 1e-10, double abs_tolerance = 1e-14,
+                             int max_cycles = 200) const;
+
+  size_t num_levels() const { return levels_.size(); }
+  size_t unknowns(size_t level) const { return levels_[level].free_nodes.size(); }
+
+  /// Transfer operators for the consistency tests: interpolate a
+  /// level+1 vector up to `level`, or restrict a `level` vector down.
+  std::vector<double> prolongate(size_t level, const std::vector<double>& coarse) const;
+  std::vector<double> restrict_residual(size_t level, const std::vector<double>& fine) const;
+
+ private:
+  struct Level {
+    size_t nx = 0, ny = 0, nz = 0;
+    std::vector<size_t> free_index;  ///< grid node -> unknown (SIZE_MAX = Dirichlet)
+    std::vector<size_t> free_nodes;  ///< unknown -> grid node
+    /// Owned Galerkin operator (levels >= 1; level 0 reads fine_).
+    std::unique_ptr<linalg::SparseMatrix> op;
+    std::vector<double> pristine_diag;  ///< diagonal before any Newton shift
+    std::vector<size_t> red, black;     ///< unknowns by (i+j+k) parity, ascending
+    /// Prolongation from level+1 unknowns into this level's unknowns
+    /// (CSR over this level's rows; absent on the coarsest level).
+    std::vector<size_t> p_ptr, p_col;
+    std::vector<double> p_val;
+    /// Transpose (restriction), CSR over level+1 rows.
+    std::vector<size_t> r_ptr, r_col;
+    std::vector<double> r_val;
+    // Cycle scratch, sized once.
+    mutable std::vector<double> x, b, r, shift;
+  };
+
+  const linalg::SparseMatrix& matrix_at(size_t level) const;
+  void gs_sweep(size_t level, const std::vector<double>& b, std::vector<double>& x,
+                bool reversed) const;
+  void residual(size_t level, const std::vector<double>& b, const std::vector<double>& x,
+                std::vector<double>& r) const;
+  void cycle(size_t level) const;
+
+  MultigridOptions opts_;
+  std::vector<Level> levels_;
+  const linalg::SparseMatrix* fine_ = nullptr;  ///< level-0 operator, read in place
+  std::vector<double> fine_pristine_diag_;
+  std::unique_ptr<linalg::LUReal> coarse_lu_;
+};
+
+/// Preconditioner adapter: factor()/refactor() both run the numeric
+/// refresh (path-independent by construction), apply() is one V-cycle.
+/// Selected in PoissonSolver via GNRFET_POISSON_PC=mg; needs the grid
+/// geometry, so linalg::make_preconditioner cannot build it.
+class MultigridPreconditioner final : public linalg::Preconditioner {
+ public:
+  explicit MultigridPreconditioner(const Assembly& assembly, const MultigridOptions& opts = {});
+
+  void factor(const linalg::SparseMatrix& a) override;
+  void refactor(const linalg::SparseMatrix& a) override;
+  void apply(const std::vector<double>& r, std::vector<double>& z) const override;
+  const char* name() const override { return "mg"; }
+
+  const MultigridHierarchy& hierarchy() const { return hierarchy_; }
+
+  /// Standalone multigrid iteration on the last factored operator —
+  /// PoissonSolver's GNRFET_POISSON_MG_MODE=standalone path, where PCG
+  /// wrapping is unnecessary.
+  MultigridSolveResult solve(const std::vector<double>& b, std::vector<double>& x,
+                             double rel_tolerance, double abs_tolerance = 1e-14,
+                             int max_cycles = 200) const;
+
+ private:
+  MultigridHierarchy hierarchy_;
+};
+
+/// One-off standalone solve: builds a hierarchy for `assembly`, solves
+/// A x = b from the warm start in `x`. For repeated solves hold a
+/// MultigridHierarchy (or MultigridPreconditioner) instead.
+MultigridSolveResult multigrid_solve(const Assembly& assembly, const std::vector<double>& b,
+                                     std::vector<double>& x, double rel_tolerance = 1e-10,
+                                     double abs_tolerance = 1e-14, int max_cycles = 200);
+
+}  // namespace gnrfet::poisson

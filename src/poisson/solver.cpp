@@ -13,7 +13,30 @@
 namespace gnrfet::poisson {
 
 namespace {
+
 double clamped_exp(double x) { return std::exp(std::clamp(x, -30.0, 30.0)); }
+
+/// Builds the selected preconditioner: the matrix-only kinds through the
+/// linalg factory, multigrid from the assembly geometry (persistent
+/// hierarchy, alive for the solver's lifetime).
+std::unique_ptr<linalg::Preconditioner> make_poisson_preconditioner(
+    const Assembly& assembly, linalg::PreconditionerKind kind) {
+  if (kind == linalg::PreconditionerKind::kMg) {
+    return std::make_unique<MultigridPreconditioner>(assembly);
+  }
+  return linalg::make_preconditioner(kind);
+}
+
+/// GNRFET_POISSON_MG_MODE: "pcg" (default) wraps V-cycles in PCG;
+/// "standalone" iterates V-cycles directly. Only consulted for mg.
+bool mg_standalone_from_env() {
+  const std::string mode = common::env_or("GNRFET_POISSON_MG_MODE", "pcg");
+  if (mode == "pcg") return false;
+  if (mode == "standalone") return true;
+  throw std::invalid_argument("GNRFET_POISSON_MG_MODE must be pcg or standalone, got '" +
+                              mode + "'");
+}
+
 }  // namespace
 
 linalg::PreconditionerKind preconditioner_kind_from_env() {
@@ -26,9 +49,13 @@ PoissonSolver::PoissonSolver(const Assembly& assembly)
 PoissonSolver::PoissonSolver(const Assembly& assembly, linalg::PreconditionerKind kind)
     : assembly_(assembly),
       kind_(kind),
-      precond_(linalg::make_preconditioner(kind)),
+      precond_(make_poisson_preconditioner(assembly, kind)),
       jac_(assembly.matrix()),
       base_diag_(assembly.matrix().diagonal()) {
+  if (kind_ == linalg::PreconditionerKind::kMg) {
+    mg_ = static_cast<MultigridPreconditioner*>(precond_.get());
+    mg_standalone_ = mg_standalone_from_env();
+  }
   const size_t nf = assembly_.num_free();
   delta_.assign(nf, 0.0);
   residual_.resize(nf);
@@ -61,9 +88,11 @@ std::vector<double> PoissonSolver::solve_linear(const std::vector<double>& elect
   opts.sum_order = kind_ == linalg::PreconditionerKind::kJacobi
                        ? linalg::kernels::SumOrder::kSequential
                        : linalg::kernels::SumOrder::kPairwise;
-  const auto res = linalg::pcg_solve(jac_, b, x, opts);
-  if (!res.converged) {
-    throw std::runtime_error("solve_linear_poisson: PCG did not converge");
+  const bool converged = mg_standalone_
+                             ? mg_->solve(b, x, opts.rel_tolerance, opts.abs_tolerance).converged
+                             : linalg::pcg_solve(jac_, b, x, opts).converged;
+  if (!converged) {
+    throw std::runtime_error("solve_linear_poisson: linear solve did not converge");
   }
   return assembly_.expand(x, electrode_voltages);
 }
@@ -164,9 +193,12 @@ NonlinearResult PoissonSolver::solve_nonlinear(const std::vector<double>& electr
     precond_->refactor(jac_);
     for (size_t f = 0; f < nf; ++f) rhs_[f] = -residual_[f];
     if (baseline) std::fill(delta_.begin(), delta_.end(), 0.0);
-    const auto pcg = linalg::pcg_solve(jac_, rhs_, delta_, pcg_opts);
-    if (!pcg.converged) {
-      throw std::runtime_error("solve_nonlinear_poisson: inner PCG did not converge");
+    const bool inner_converged =
+        mg_standalone_
+            ? mg_->solve(rhs_, delta_, pcg_opts.rel_tolerance, pcg_opts.abs_tolerance).converged
+            : linalg::pcg_solve(jac_, rhs_, delta_, pcg_opts).converged;
+    if (!inner_converged) {
+      throw std::runtime_error("solve_nonlinear_poisson: inner linear solve did not converge");
     }
     double max_update = 0.0;
     double max_raw = 0.0;

@@ -270,6 +270,100 @@ TEST(AdaptiveIntegrate, PanelSinkSeesEveryPanelInAscendingOrder) {
   EXPECT_NEAR(res.integrals[0], std::exp(1.0) - 1.0, 1e-8);
 }
 
+/// Scoped thread-count override restoring the previous value on exit.
+struct ThreadCountGuard {
+  explicit ThreadCountGuard(int n) : old_(par::thread_count()) { par::set_thread_count(n); }
+  ~ThreadCountGuard() { par::set_thread_count(old_); }
+  int old_;
+};
+
+device::DeviceSpec warmbias_spec() {
+  device::DeviceSpec spec;
+  spec.channel_length_nm = 6.0;
+  spec.grid_step_nm = 0.35;
+  spec.lateral_margin_nm = 2.0;
+  spec.num_modes = 2;
+  return spec;
+}
+
+device::TableGenOptions warmbias_opts(bool warm) {
+  device::TableGenOptions opts;
+  opts.vg_points = 3;
+  opts.vg_max = 0.4;
+  opts.vd_min = 0.05;
+  opts.vd_max = 0.35;
+  opts.vd_points = 2;
+  opts.solve.energy_step_eV = 5e-3;
+  opts.solve.gummel_tolerance_V = 3e-3;
+  opts.use_cache = false;
+  opts.warm_bias_context = warm;
+  return opts;
+}
+
+TEST(TablegenWarmBias, UniformTableBitIdenticalToColdStart) {
+  // The uniform energy grid ignores the TransportContext entirely, so
+  // cross-bias chaining must leave the pinned uniform tables bit-identical
+  // to a cold start, and must not fork their cache key.
+  GridEnvGuard guard("uniform");
+  const auto spec = warmbias_spec();
+  const auto warm = device::generate_device_table(spec, warmbias_opts(true));
+  const auto cold = device::generate_device_table(spec, warmbias_opts(false));
+  ASSERT_EQ(warm.current_A.size(), cold.current_A.size());
+  for (size_t i = 0; i < warm.current_A.size(); ++i) {
+    EXPECT_EQ(warm.current_A[i], cold.current_A[i]) << "row " << i;
+    EXPECT_EQ(warm.charge_C[i], cold.charge_C[i]) << "row " << i;
+  }
+  EXPECT_EQ(device::table_cache_payload(spec, warmbias_opts(true)),
+            device::table_cache_payload(spec, warmbias_opts(false)));
+}
+
+TEST(TablegenWarmBias, AdaptiveCachePayloadKeyedByContextChaining) {
+  // Chained panel seeding moves adaptive table values within tolerance, so
+  // warm and cold tables must live under different cache keys.
+  GridEnvGuard guard("adaptive");
+  const auto spec = warmbias_spec();
+  const std::string warm_key = device::table_cache_payload(spec, warmbias_opts(true));
+  const std::string cold_key = device::table_cache_payload(spec, warmbias_opts(false));
+  EXPECT_NE(warm_key, cold_key);
+  EXPECT_NE(warm_key.find(";ctx=bias"), std::string::npos);
+  EXPECT_EQ(cold_key.find(";ctx=bias"), std::string::npos);
+}
+
+TEST(TablegenWarmBias, AdaptiveWarmTableAgreesWithColdStart) {
+  // Seeding each bias point's panels from its warm-start neighbour changes
+  // the refinement structure, so warm and cold tables are not bit-equal;
+  // they must agree within the adaptive tolerance as amplified by the
+  // Gummel stopping window.
+  GridEnvGuard guard("adaptive");
+  const auto spec = warmbias_spec();
+  const auto warm = device::generate_device_table(spec, warmbias_opts(true));
+  const auto cold = device::generate_device_table(spec, warmbias_opts(false));
+  ASSERT_EQ(warm.current_A.size(), cold.current_A.size());
+  for (size_t i = 0; i < warm.current_A.size(); ++i) {
+    EXPECT_NEAR(warm.current_A[i], cold.current_A[i], 0.05 * std::abs(cold.current_A[i]) + 1e-15)
+        << "row " << i;
+    EXPECT_NEAR(warm.charge_C[i], cold.charge_C[i], 0.05 * std::abs(cold.charge_C[i]) + 1e-24)
+        << "row " << i;
+  }
+}
+
+TEST(TablegenWarmBiasParallel, AdaptiveWarmTableBitIdentical1v4Threads) {
+  // The context chain follows the warm-start graph (serial head row, then
+  // per-column copies), so chained tables must stay bit-identical for any
+  // thread count. Also the TSan target for the chaining code.
+  GridEnvGuard guard("adaptive");
+  const auto spec = warmbias_spec();
+  ThreadCountGuard g1(1);
+  const auto serial = device::generate_device_table(spec, warmbias_opts(true));
+  ThreadCountGuard g4(4);
+  const auto threaded = device::generate_device_table(spec, warmbias_opts(true));
+  ASSERT_EQ(serial.current_A.size(), threaded.current_A.size());
+  for (size_t i = 0; i < serial.current_A.size(); ++i) {
+    ASSERT_EQ(serial.current_A[i], threaded.current_A[i]) << "row " << i;
+    ASSERT_EQ(serial.charge_C[i], threaded.charge_C[i]) << "row " << i;
+  }
+}
+
 TEST(ScalarRgfWorkspace, ReuseAcrossSolvesMatchesFreshWorkspace) {
   // A warm workspace carried across chains and energies must be stateless:
   // every solve equals a fresh-workspace solve bit-for-bit.

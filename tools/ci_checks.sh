@@ -8,9 +8,12 @@
 #               the tier-1 suite must still pass without the contract layer
 #   trace     fast suite under GNRFET_TRACE: the emitted Chrome trace JSON
 #             must parse and summarize through gnrfet_trace_report
-#   perf-smoke  Poisson PCG microbench on a reduced grid under every
-#               preconditioner; asserts IC(0) needs fewer total iterations
-#               than Jacobi (the point of the fast-solver work). Then the
+#   perf-smoke  Poisson PCG microbench on a reduced grid (and its 2x
+#               refinement) under every preconditioner; asserts IC(0) needs
+#               fewer total iterations than Jacobi, multigrid fewer than
+#               IC(0) with a relative gap that widens on the refined grid,
+#               and that the mg device stack reproduces the ic0 terminal
+#               current to 1e-10 with the same Gummel count. Then the
 #               NEGF grid bench: the adaptive energy grid must do at most
 #               half the uniform RGF solves at <= 1e-4 relative current
 #               error, and the uniform grid must be bit-identical across
@@ -86,11 +89,13 @@ for stage in "${STAGES[@]}"; do
       "$ROOT/build-ci-trace/tools/gnrfet_trace_report" "$TRACE_JSON"
       ;;
     perf-smoke)
-      banner "Poisson preconditioner perf smoke (ic0 must beat jacobi)"
-      # Reduced grid so the three preconditioner sweeps stay in CI budget;
-      # the full-scale numbers live in EXPERIMENTS.md. The TSan coverage of
-      # the concurrent PoissonSolver path rides in the tsan stage above
-      # (its -R 'Parallel' filter picks up PoissonSolverParallel.*).
+      banner "Poisson preconditioner perf smoke (ic0 beats jacobi, mg beats ic0)"
+      # Reduced grid so the preconditioner sweeps stay in CI budget; the
+      # full-scale numbers live in EXPERIMENTS.md. The TSan coverage of
+      # the concurrent PoissonSolver and multigrid paths rides in the tsan
+      # stage above (its -R 'Parallel' filter picks up
+      # PoissonSolverParallel.*, MultigridParallel.*, and
+      # TablegenWarmBiasParallel.*).
       DIR="$ROOT/build-ci-perf"
       cmake -B "$DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >"$DIR.configure.log" 2>&1 ||
         { cat "$DIR.configure.log"; exit 1; }
@@ -100,16 +105,51 @@ for stage in "${STAGES[@]}"; do
         GNRFET_BENCH_POISSON_REPEATS=1 ./bench/bench_poisson_solver)
       PERF_JSON="$DIR/bench_out/BENCH_poisson.json"
       test -s "$PERF_JSON" || { echo "perf-smoke: no BENCH_poisson.json written" >&2; exit 1; }
-      # One {"preconditioner":...,"iterations":...,"seconds":...} per line.
+      # One {"preconditioner":...,"grid_scale":...,"iterations":...} per
+      # line, plus two {"device_pc":...} rows.
       iters() {
-        sed -n "s/.*\"preconditioner\":\"$1\",\"iterations\":\([0-9]*\).*/\1/p" "$PERF_JSON"
+        sed -n "s/.*\"preconditioner\":\"$1\",\"grid_scale\":$2,\"iterations\":\([0-9]*\).*/\1/p" \
+          "$PERF_JSON"
       }
-      JAC="$(iters jacobi)"; IC0="$(iters ic0)"
-      [ -n "$JAC" ] && [ -n "$IC0" ] ||
-        { echo "perf-smoke: missing jacobi/ic0 records in $PERF_JSON" >&2; exit 1; }
-      echo "perf-smoke: jacobi=$JAC ic0=$IC0 total PCG iterations"
+      JAC="$(iters jacobi 1)"; IC0="$(iters ic0 1)"; MG="$(iters mg 1)"
+      IC0_2="$(iters ic0 2)"; MG_2="$(iters mg 2)"
+      [ -n "$JAC" ] && [ -n "$IC0" ] && [ -n "$MG" ] && [ -n "$IC0_2" ] && [ -n "$MG_2" ] ||
+        { echo "perf-smoke: missing preconditioner records in $PERF_JSON" >&2; exit 1; }
+      echo "perf-smoke: jacobi=$JAC ic0=$IC0 mg=$MG PCG iterations (scale 1)"
+      echo "perf-smoke: ic0=$IC0_2 mg=$MG_2 PCG iterations (scale 2)"
       [ "$IC0" -lt "$JAC" ] ||
         { echo "perf-smoke: ic0 ($IC0) not below jacobi ($JAC)" >&2; exit 1; }
+      [ "$MG" -lt "$IC0" ] ||
+        { echo "perf-smoke: mg ($MG) not below ic0 ($IC0) at scale 1" >&2; exit 1; }
+      [ "$MG_2" -lt "$IC0_2" ] ||
+        { echo "perf-smoke: mg ($MG_2) not below ic0 ($IC0_2) at scale 2" >&2; exit 1; }
+      # The multigrid advantage must widen under refinement:
+      # mg_2/ic0_2 < mg_1/ic0_1, cross-multiplied to stay in integers.
+      [ $((MG_2 * IC0)) -lt $((MG * IC0_2)) ] ||
+        { echo "perf-smoke: mg/ic0 gap did not widen on the refined grid" \
+               "($MG/$IC0 -> $MG_2/$IC0_2)" >&2; exit 1; }
+
+      # fig2 proxy: switching the self-consistent device stack from ic0 to
+      # mg must not move the physics — same Gummel count, terminal current
+      # equal to 1e-10 relative.
+      dev_current() {
+        sed -n "s/.*\"device_pc\":\"$1\",\"current_A\":\([0-9.e+-]*\),.*/\1/p" "$PERF_JSON"
+      }
+      dev_gummel() {
+        sed -n "s/.*\"device_pc\":\"$1\".*\"gummel_iterations\":\([0-9]*\).*/\1/p" "$PERF_JSON"
+      }
+      I_IC0="$(dev_current ic0)"; I_MG="$(dev_current mg)"
+      G_IC0="$(dev_gummel ic0)"; G_MG="$(dev_gummel mg)"
+      [ -n "$I_IC0" ] && [ -n "$I_MG" ] && [ -n "$G_IC0" ] && [ -n "$G_MG" ] ||
+        { echo "perf-smoke: missing device_pc records in $PERF_JSON" >&2; exit 1; }
+      echo "perf-smoke: device current ic0=$I_IC0 A ($G_IC0 Gummel)," \
+           "mg=$I_MG A ($G_MG Gummel)"
+      [ "$G_IC0" = "$G_MG" ] ||
+        { echo "perf-smoke: Gummel count changed under mg ($G_IC0 vs $G_MG)" >&2; exit 1; }
+      awk -v a="$I_IC0" -v b="$I_MG" 'BEGIN {
+        d = a - b; if (d < 0) d = -d; m = a; if (m < 0) m = -m;
+        exit (d <= 1e-10 * m) ? 0 : 1 }' ||
+        { echo "perf-smoke: device current moved under mg ($I_IC0 vs $I_MG)" >&2; exit 1; }
 
       # NEGF energy-grid smoke: adaptive must halve the uniform RGF solve
       # count while holding <= 1e-4 relative current error against the

@@ -313,13 +313,27 @@ int main(int argc, char** argv) {
     subsystem_self_us[e.cat] += e.self;
   }
 
+  // Column widths follow the data: std::setw is a minimum, so a span,
+  // counter, or histogram name longer than a hard-coded width would shove
+  // its row out of alignment (new metrics land here without this file
+  // changing). Each table is sized to its longest name instead.
+  int cat_w = static_cast<int>(std::string("subsystem").size());
+  int span_w = static_cast<int>(std::string("span").size());
+  for (const auto& [key, s] : spans) {
+    (void)s;
+    cat_w = std::max(cat_w, static_cast<int>(key.first.size()));
+    span_w = std::max(span_w, static_cast<int>(key.second.size()));
+  }
+  cat_w += 2;
+  span_w += 2;
+
   std::cout << "trace: " << argv[1] << " (" << events.size() << " spans)\n\n";
-  std::cout << std::left << std::setw(10) << "subsystem" << std::setw(28) << "span"
+  std::cout << std::left << std::setw(cat_w) << "subsystem" << std::setw(span_w) << "span"
             << std::right << std::setw(10) << "count" << std::setw(14) << "total_ms"
             << std::setw(14) << "self_ms" << std::setw(12) << "mean_us" << std::setw(12)
             << "max_us" << "\n";
   for (const auto& [key, s] : spans) {
-    std::cout << std::left << std::setw(10) << key.first << std::setw(28) << key.second
+    std::cout << std::left << std::setw(cat_w) << key.first << std::setw(span_w) << key.second
               << std::right << std::setw(10) << s.count << std::setw(14)
               << fmt_ms(s.total_us) << std::setw(14) << fmt_ms(s.self_us) << std::setw(12)
               << std::fixed << std::setprecision(1)
@@ -333,21 +347,31 @@ int main(int argc, char** argv) {
   std::sort(subsystems.begin(), subsystems.end(),
             [](const auto& a, const auto& b) { return a.second > b.second; });
   for (const auto& [cat, self_us] : subsystems) {
-    std::cout << "  " << std::left << std::setw(10) << cat << std::right << std::setw(14)
+    std::cout << "  " << std::left << std::setw(cat_w) << cat << std::right << std::setw(14)
               << fmt_ms(self_us) << " ms\n";
   }
 
   if (const Value* counters = root.find("gnrfetCounters");
       counters && counters->kind == Value::Kind::kObject) {
+    int name_w = 0;
+    for (const auto& [name, v] : counters->object) {
+      (void)v;
+      name_w = std::max(name_w, static_cast<int>(name.size()));
+    }
     std::cout << "\ncounters:\n";
     for (const auto& [name, v] : counters->object) {
-      std::cout << "  " << std::left << std::setw(28) << name << std::right << std::setw(14)
-                << static_cast<uint64_t>(v.number) << "\n";
+      std::cout << "  " << std::left << std::setw(name_w + 2) << name << std::right
+                << std::setw(14) << static_cast<uint64_t>(v.number) << "\n";
     }
   }
 
   if (const Value* hists = root.find("gnrfetHistograms");
       hists && hists->kind == Value::Kind::kObject) {
+    int name_w = 0;
+    for (const auto& [name, h] : hists->object) {
+      (void)h;
+      name_w = std::max(name_w, static_cast<int>(name.size()));
+    }
     std::cout << "\nhistograms (per-call distributions):\n";
     for (const auto& [name, h] : hists->object) {
       const Value* count = h.find("count");
@@ -355,7 +379,7 @@ int main(int argc, char** argv) {
       const Value* sum = h.find("sum");
       const Value* min = h.find("min");
       const Value* max = h.find("max");
-      std::cout << "  " << std::left << std::setw(28) << name << std::right
+      std::cout << "  " << std::left << std::setw(name_w + 2) << name << std::right
                 << " count=" << static_cast<uint64_t>(count->number)
                 << " mean=" << std::setprecision(2)
                 << (sum ? sum->number / count->number : 0.0)
