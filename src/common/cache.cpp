@@ -1,8 +1,8 @@
 #include "common/cache.hpp"
 
 #include <filesystem>
-#include <mutex>
 
+#include "common/annotations.hpp"
 #include "common/env.hpp"
 #include "common/strings.hpp"
 
@@ -37,9 +37,9 @@ std::string directory() {
   // can repoint it), but each distinct value only walks the filesystem /
   // creates directories once.
   if (const std::string env = common::env_or("GNRFET_CACHE_DIR", ""); !env.empty()) {
-    static std::mutex mu;
-    static std::string created_for;
-    std::lock_guard<std::mutex> lk(mu);
+    static common::Mutex mu;
+    static std::string created_for GNRFET_GUARDED_BY(mu);
+    common::MutexLock lk(mu);
     if (env != created_for) {
       std::filesystem::create_directories(env);
       created_for = env;

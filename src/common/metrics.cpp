@@ -5,8 +5,9 @@
 #include <cmath>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "common/annotations.hpp"
 
 namespace gnrfet::metrics {
 
@@ -30,8 +31,8 @@ struct alignas(64) Block {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::vector<std::shared_ptr<Block>> blocks;
+  common::Mutex mu;
+  std::vector<std::shared_ptr<Block>> blocks GNRFET_GUARDED_BY(mu);
 };
 
 Registry& registry() {
@@ -50,7 +51,7 @@ Block& local_block() {
   thread_local std::shared_ptr<Block> block = [] {
     auto b = std::make_shared<Block>();
     Registry& r = registry();
-    std::lock_guard<std::mutex> lk(r.mu);
+    common::MutexLock lk(r.mu);
     r.blocks.push_back(b);
     return b;
   }();
@@ -116,7 +117,7 @@ Snapshot snapshot() {
   mins.fill(kInf);
   maxs.fill(-kInf);
   Registry& r = registry();
-  std::lock_guard<std::mutex> lk(r.mu);
+  common::MutexLock lk(r.mu);
   for (const auto& block : r.blocks) {
     for (size_t c = 0; c < kNumCounters; ++c) {
       s.counters[c] += block->counters[c].load(std::memory_order_relaxed);
@@ -144,7 +145,7 @@ Snapshot snapshot() {
 
 void reset() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lk(r.mu);
+  common::MutexLock lk(r.mu);
   for (const auto& block : r.blocks) {
     for (auto& c : block->counters) c.store(0, std::memory_order_relaxed);
     for (auto& h : block->hists) {

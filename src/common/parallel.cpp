@@ -1,12 +1,11 @@
 #include "common/parallel.hpp"
 
 #include <atomic>
-#include <condition_variable>
 #include <exception>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 
+#include "common/annotations.hpp"
 #include "common/env.hpp"
 
 namespace gnrfet::par {
@@ -31,8 +30,8 @@ struct Job {
   std::vector<Cursor> cursors;  // one per participant
 
   std::atomic<bool> abort{false};
-  std::exception_ptr error;
-  std::mutex error_mu;
+  common::Mutex error_mu;
+  std::exception_ptr error GNRFET_GUARDED_BY(error_mu);
 
   void init(size_t n_items, size_t grain_items, size_t nparticipants) {
     n = n_items;
@@ -64,7 +63,7 @@ struct Job {
       const size_t end = begin + grain < n ? begin + grain : n;
       (*body)(chunk, begin, end);
     } catch (...) {
-      std::lock_guard<std::mutex> lk(error_mu);
+      common::MutexLock lk(error_mu);
       if (!error) error = std::current_exception();
       abort.store(true, std::memory_order_relaxed);
     }
@@ -74,6 +73,13 @@ struct Job {
     for (size_t chunk = claim(home); chunk < nchunks; chunk = claim(home)) {
       run_chunk(chunk);
     }
+  }
+
+  /// The first chunk exception, if any. Called after the region drained;
+  /// the lock is for the analysis (and late-aborting stragglers).
+  std::exception_ptr take_error() {
+    common::MutexLock lk(error_mu);
+    return error;
   }
 };
 
@@ -95,15 +101,15 @@ class ThreadPool {
   }
 
   int threads() {
-    std::lock_guard<std::mutex> lk(mu_);
+    common::MutexLock lk(mu_);
     return target_threads_;
   }
 
   void set_threads(int n) {
-    std::unique_lock<std::mutex> lk(mu_);
+    common::MutexLock lk(mu_);
     if (job_) throw std::logic_error("par::set_thread_count: parallel region active");
     target_threads_ = n < 1 ? 1 : n;
-    ensure_workers(lk);
+    ensure_workers();
   }
 
   void run(Job& job) {
@@ -112,20 +118,20 @@ class ThreadPool {
     // loser of the race runs its region inline on its own thread instead of
     // blocking — blocking here could deadlock if the winner's job body
     // waits on a lock the loser holds.
-    std::unique_lock<std::mutex> run_lk(run_mu_, std::try_to_lock);
-    if (!run_lk.owns_lock()) {
+    if (!run_mu_.try_lock()) {
       job.init(job.n, job.grain, 1);
       InRegionGuard in_region;
       job.work(0);
-      if (job.error) std::rethrow_exception(job.error);
+      if (std::exception_ptr err = job.take_error()) std::rethrow_exception(err);
       return;
     }
 
-    std::unique_lock<std::mutex> lk(mu_);
-    job.init(job.n, job.grain, static_cast<size_t>(target_threads_));
-    job_ = &job;
-    ++epoch_;
-    lk.unlock();
+    {
+      common::MutexLock lk(mu_);
+      job.init(job.n, job.grain, static_cast<size_t>(target_threads_));
+      job_ = &job;
+      ++epoch_;
+    }
     wake_cv_.notify_all();
 
     // The caller is participant 0 and helps until the job drains. It is
@@ -140,24 +146,26 @@ class ThreadPool {
 
     // Detach the job so late-waking workers skip it, then wait for every
     // worker that did enter to leave before the job goes out of scope.
-    lk.lock();
-    job_ = nullptr;
-    done_cv_.wait(lk, [&] { return active_ == 0; });
-    lk.unlock();
+    {
+      common::MutexLock lk(mu_);
+      job_ = nullptr;
+      while (active_ != 0) done_cv_.wait(mu_);
+    }
+    run_mu_.unlock();
 
-    if (job.error) std::rethrow_exception(job.error);
+    if (std::exception_ptr err = job.take_error()) std::rethrow_exception(err);
   }
 
  private:
   ThreadPool() {
+    common::MutexLock lk(mu_);
     target_threads_ = resolve_env_threads();
-    std::unique_lock<std::mutex> lk(mu_);
-    ensure_workers(lk);
+    ensure_workers();
   }
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      common::MutexLock lk(mu_);
       stop_ = true;
     }
     wake_cv_.notify_all();
@@ -169,7 +177,7 @@ class ThreadPool {
     return common::env_int("GNRFET_THREADS", hw >= 1 ? static_cast<int>(hw) : 1);
   }
 
-  void ensure_workers(std::unique_lock<std::mutex>&) {
+  void ensure_workers() GNRFET_REQUIRES(mu_) {
     // Participant 0 is the caller, so the pool carries threads - 1 workers.
     while (static_cast<int>(workers_.size()) < target_threads_ - 1) {
       const size_t slot = workers_.size() + 1;
@@ -179,32 +187,38 @@ class ThreadPool {
 
   void worker_main(size_t slot) {
     t_in_worker = true;
-    std::unique_lock<std::mutex> lk(mu_);
+    mu_.lock();
     uint64_t seen = epoch_;
     while (true) {
-      wake_cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
-      if (stop_) return;
+      while (!(stop_ || epoch_ != seen)) wake_cv_.wait(mu_);
+      if (stop_) {
+        mu_.unlock();
+        return;
+      }
       seen = epoch_;
       Job* job = job_;
       if (!job || slot >= job->participants) continue;
       ++active_;
-      lk.unlock();
+      mu_.unlock();
       job->work(slot);
-      lk.lock();
+      mu_.lock();
       if (--active_ == 0) done_cv_.notify_all();
     }
   }
 
-  std::mutex mu_;
-  std::mutex run_mu_;  ///< serializes top-level regions (see run())
-  std::condition_variable wake_cv_;
-  std::condition_variable done_cv_;
+  common::Mutex mu_;
+  common::Mutex run_mu_;  ///< serializes top-level regions (see run())
+  common::CondVar wake_cv_;
+  common::CondVar done_cv_;
+  /// Only grown (under mu_, in ensure_workers) and joined by the
+  /// destructor after the stop_ handshake; not annotated because the
+  /// joining loop intentionally runs unlocked.
   std::vector<std::thread> workers_;
-  Job* job_ = nullptr;
-  uint64_t epoch_ = 0;
-  int active_ = 0;
-  int target_threads_ = 1;
-  bool stop_ = false;
+  Job* job_ GNRFET_GUARDED_BY(mu_) = nullptr;
+  uint64_t epoch_ GNRFET_GUARDED_BY(mu_) = 0;
+  int active_ GNRFET_GUARDED_BY(mu_) = 0;
+  int target_threads_ GNRFET_GUARDED_BY(mu_) = 1;
+  bool stop_ GNRFET_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace

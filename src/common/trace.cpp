@@ -5,11 +5,11 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <utility>
 
+#include "common/annotations.hpp"
 #include "common/env.hpp"
 #include "common/metrics.hpp"
 
@@ -40,11 +40,11 @@ struct Registry {
   }
 
   std::chrono::steady_clock::time_point epoch;
-  std::mutex mu;               ///< guards buffers and path
-  std::vector<std::shared_ptr<Buffer>> buffers;
-  std::string path;
+  common::Mutex mu;
+  std::vector<std::shared_ptr<Buffer>> buffers GNRFET_GUARDED_BY(mu);
+  std::string path GNRFET_GUARDED_BY(mu);
   std::atomic<bool> recording{false};
-  uint32_t next_tid = 0;
+  uint32_t next_tid GNRFET_GUARDED_BY(mu) = 0;
 };
 
 Registry& registry() {
@@ -73,7 +73,7 @@ Buffer& local_buffer() {
   thread_local std::shared_ptr<Buffer> buffer = [] {
     auto b = std::make_shared<Buffer>();
     Registry& r = registry();
-    std::lock_guard<std::mutex> lk(r.mu);
+    common::MutexLock lk(r.mu);
     b->tid = r.next_tid++;
     r.buffers.push_back(b);
     return b;
@@ -105,14 +105,14 @@ bool enabled() { return registry().recording.load(std::memory_order_relaxed); }
 
 std::string output_path() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lk(r.mu);
+  common::MutexLock lk(r.mu);
   return r.path;
 }
 
 void set_output_path(const std::string& path) {
   ensure_exit_flush();
   Registry& r = registry();
-  std::lock_guard<std::mutex> lk(r.mu);
+  common::MutexLock lk(r.mu);
   r.path = path;
   r.recording.store(!path.empty(), std::memory_order_relaxed);
 }
@@ -145,7 +145,7 @@ void emit_complete(const char* category, const std::string& name, double begin_u
 
 size_t event_count() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lk(r.mu);
+  common::MutexLock lk(r.mu);
   size_t n = 0;
   for (const auto& b : r.buffers) n += b->events.size();
   return n;
@@ -153,7 +153,7 @@ size_t event_count() {
 
 std::vector<EventRecord> snapshot_events() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lk(r.mu);
+  common::MutexLock lk(r.mu);
   std::vector<EventRecord> out;
   for (const auto& b : r.buffers) {
     for (const Event& e : b->events) {
@@ -172,7 +172,7 @@ std::vector<EventRecord> snapshot_events() {
 void write_json(std::ostream& os) {
   const metrics::Snapshot snap = metrics::snapshot();
   Registry& r = registry();
-  std::lock_guard<std::mutex> lk(r.mu);
+  common::MutexLock lk(r.mu);
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   for (const auto& b : r.buffers) {
@@ -223,7 +223,7 @@ void flush() {
   std::string path;
   {
     Registry& r = registry();
-    std::lock_guard<std::mutex> lk(r.mu);
+    common::MutexLock lk(r.mu);
     path = r.path;
     size_t n = 0;
     for (const auto& b : r.buffers) n += b->events.size();
@@ -244,7 +244,7 @@ void flush() {
 
 void clear() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lk(r.mu);
+  common::MutexLock lk(r.mu);
   for (const auto& b : r.buffers) b->events.clear();
 }
 

@@ -24,7 +24,11 @@ device::TableGenOptions standard_table_options() {
 DesignKit::DesignKit(model::Parasitics parasitics) : parasitics_(parasitics) {}
 
 const device::DeviceTable& DesignKit::table(const VariantSpec& v) {
-  std::lock_guard<std::recursive_mutex> lk(mu_);
+  common::MutexLock lk(mu_);
+  return table_locked(v);
+}
+
+const device::DeviceTable& DesignKit::table_locked(const VariantSpec& v) {
   const auto it = tables_.find(v);
   if (it != tables_.end()) return it->second;
   trace::Span span("explore", "design_kit_table");
@@ -36,7 +40,7 @@ const device::DeviceTable& DesignKit::table(const VariantSpec& v) {
 }
 
 void DesignKit::set_table(const VariantSpec& v, device::DeviceTable table) {
-  std::lock_guard<std::recursive_mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   // Refuse to replace an existing entry: table() hands out references whose
   // validity rests on map entries never being destroyed or reassigned.
   if (!tables_.emplace(v, std::move(table)).second) {
@@ -47,9 +51,13 @@ void DesignKit::set_table(const VariantSpec& v, device::DeviceTable table) {
 }
 
 double DesignKit::vt0() {
-  std::lock_guard<std::recursive_mutex> lk(mu_);
+  common::MutexLock lk(mu_);
+  return vt0_locked();
+}
+
+double DesignKit::vt0_locked() {
   if (vt0_ >= 0.0) return vt0_;
-  const device::DeviceTable& t = table({12, 0.0});
+  const device::DeviceTable& t = table_locked({12, 0.0});
   // Extract at the lowest nonzero drain bias on the grid (0.05 V), per the
   // max-gm method of Fig. 2(b).
   const size_t ivd = 1;
@@ -61,10 +69,10 @@ double DesignKit::vt0() {
 
 model::IntrinsicFet DesignKit::channel(const VariantSpec& v, model::Polarity pol,
                                        double offset) {
-  std::lock_guard<std::recursive_mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   auto it = fet_tables_.find(v);
   if (it == fet_tables_.end()) {
-    it = fet_tables_.emplace(v, model::make_fet_tables(table(v))).first;
+    it = fet_tables_.emplace(v, model::make_fet_tables(table_locked(v))).first;
   }
   return model::IntrinsicFet(it->second.current_A, it->second.charge_C, pol, offset);
 }

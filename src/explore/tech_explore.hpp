@@ -1,10 +1,10 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "circuit/measure.hpp"
+#include "common/annotations.hpp"
 #include "device/tablegen.hpp"
 #include "model/intrinsic_fet.hpp"
 
@@ -65,14 +65,18 @@ class DesignKit {
 
  private:
   model::IntrinsicFet channel(const VariantSpec& v, model::Polarity pol, double offset);
+  /// Lock-held internals: the public methods take mu_ once and delegate,
+  /// so cache misses never re-enter the lock (no recursive mutex).
+  const device::DeviceTable& table_locked(const VariantSpec& v) GNRFET_REQUIRES(mu_);
+  double vt0_locked() GNRFET_REQUIRES(mu_);
+
   model::Parasitics parasitics_;
-  /// Guards every cache below; recursive because vt0()/channel() re-enter
-  /// table() on a miss. Map entries are stable under insertion, so the
-  /// references table() hands out outlive the lock.
-  std::recursive_mutex mu_;
-  std::map<VariantSpec, device::DeviceTable> tables_;
-  std::map<VariantSpec, model::FetTables> fet_tables_;
-  double vt0_ = -1.0;
+  /// Guards every cache below. Map entries are stable under insertion, so
+  /// the references table() hands out outlive the lock.
+  common::Mutex mu_;
+  std::map<VariantSpec, device::DeviceTable> tables_ GNRFET_GUARDED_BY(mu_);
+  std::map<VariantSpec, model::FetTables> fet_tables_ GNRFET_GUARDED_BY(mu_);
+  double vt0_ GNRFET_GUARDED_BY(mu_) = -1.0;
 };
 
 /// One point of the (VT, VDD) exploration plane (Fig. 3(b)).

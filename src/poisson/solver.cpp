@@ -16,6 +16,26 @@ namespace {
 
 double clamped_exp(double x) { return std::exp(std::clamp(x, -30.0, 30.0)); }
 
+/// Enforces the solver-single-owner contract for a scope: the persistent
+/// Jacobian/preconditioner/PCG workspaces are thread-compatible, not
+/// thread-safe, so concurrent entry is a caller bug we trap at the door
+/// instead of letting it decay into corrupted warm starts. With
+/// GNRFET_CHECKS=OFF the probe is never set and the guard is free.
+struct SingleOwnerGuard {
+  explicit SingleOwnerGuard(std::atomic<bool>& in_use) : in_use_(in_use) {
+    GNRFET_REQUIRE("poisson", "solver-single-owner",
+                   !in_use_.exchange(true, std::memory_order_acquire),
+                   "PoissonSolver entered concurrently; create one solver per "
+                   "concurrent solve (parallelism is across solves)");
+  }
+  ~SingleOwnerGuard() { in_use_.store(false, std::memory_order_release); }
+  SingleOwnerGuard(const SingleOwnerGuard&) = delete;
+  SingleOwnerGuard& operator=(const SingleOwnerGuard&) = delete;
+
+ private:
+  std::atomic<bool>& in_use_;
+};
+
 /// Builds the selected preconditioner: the matrix-only kinds through the
 /// linalg factory, multigrid from the assembly geometry (persistent
 /// hierarchy, alive for the solver's lifetime).
@@ -73,6 +93,7 @@ void PoissonSolver::reset_jacobian() {
 std::vector<double> PoissonSolver::solve_linear(const std::vector<double>& electrode_voltages,
                                                 const std::vector<double>& rho_e) {
   trace::Span span("poisson", "solve_linear_poisson");
+  SingleOwnerGuard owner(in_use_);
   GNRFET_REQUIRE("poisson", "finite-charge", contracts::all_finite(rho_e),
                  "charge density contains NaN/inf");
   GNRFET_REQUIRE("poisson", "finite-boundary", contracts::all_finite(electrode_voltages),
@@ -105,6 +126,7 @@ NonlinearResult PoissonSolver::solve_nonlinear(const std::vector<double>& electr
                                                const std::vector<double>& phi_init_full,
                                                const NonlinearOptions& opts) {
   trace::Span span("poisson", "solve_nonlinear_poisson");
+  SingleOwnerGuard owner(in_use_);
   const size_t n_nodes = phi_ref_full.size();
   if (n0_e.size() != n_nodes || p0_e.size() != n_nodes || rho_fixed_e.size() != n_nodes ||
       phi_init_full.size() != n_nodes) {

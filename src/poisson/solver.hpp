@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
 
 #include "linalg/pcg.hpp"
@@ -32,7 +33,11 @@
 /// GNRFET_POISSON_MG_MODE=standalone to iterate V-cycles directly
 /// instead of wrapping them in PCG. One PoissonSolver is used by one
 /// thread at a time; create one per concurrent solve (the thread-pool
-/// parallelism is across solves).
+/// parallelism is across solves). The persistent workspaces are
+/// deliberately unlocked — the class is thread-compatible, not
+/// thread-safe — so instead of a capability annotation the solve entry
+/// points carry a runtime single-owner contract
+/// (poisson/solver-single-owner) that fires on concurrent entry.
 namespace gnrfet::poisson {
 
 /// GNRFET_POISSON_PC, defaulting to ic0; throws on unknown values.
@@ -75,6 +80,10 @@ class PoissonSolver {
   linalg::PcgWorkspace pcg_ws_;
   // Newton-loop scratch, allocated once.
   std::vector<double> delta_, residual_, ax_, rhs_, q_, dq_dphi_;
+  /// Single-owner probe backing the solver-single-owner contract: set for
+  /// the duration of each solve; a second concurrent entrant trips the
+  /// contract instead of silently corrupting the shared workspaces.
+  std::atomic<bool> in_use_{false};
 };
 
 }  // namespace gnrfet::poisson

@@ -18,6 +18,11 @@
 #               half the uniform RGF solves at <= 1e-4 relative current
 #               error, and the uniform grid must be bit-identical across
 #               GNRFET_THREADS=1 and 4.
+#   analyze   gnrfet_lint repo rules + the gnrfet_analyze passes: layering
+#             DAG, determinism rules, contract-coverage baseline
+#   thread-safety  clang -Wthread-safety -Werror=thread-safety build over the
+#             capability annotations in src/common/annotations.hpp (skipped
+#             when clang++ is not installed; gcc ignores the annotations)
 #   tidy      clang-tidy over all translation units (skipped when clang-tidy
 #             is not installed)
 #
@@ -26,14 +31,16 @@
 #   tools/ci_checks.sh werror tsan   # run selected stages
 #
 # Each stage configures its own build tree under build-ci-<stage> so stages
-# never contaminate each other's flags. Exits non-zero on the first failure.
+# never contaminate each other's flags; configure output goes to
+# build-ci-<stage>/configure.log inside the tree. Exits non-zero on the
+# first failure.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(werror asan-ubsan tsan checks-off trace perf-smoke tidy)
+  STAGES=(werror asan-ubsan tsan checks-off trace perf-smoke analyze thread-safety tidy)
 fi
 
 banner() { printf '\n=== ci_checks: %s ===\n' "$1"; }
@@ -41,8 +48,11 @@ banner() { printf '\n=== ci_checks: %s ===\n' "$1"; }
 configure_and_build() {
   local dir="$1"
   shift
-  cmake -B "$dir" -S "$ROOT" "$@" >"$dir.configure.log" 2>&1 ||
-    { cat "$dir.configure.log"; return 1; }
+  # The log lives inside the build tree: nothing to litter the repo root
+  # with, and `rm -rf build-ci-*` removes stage and log together.
+  mkdir -p "$dir"
+  cmake -B "$dir" -S "$ROOT" "$@" >"$dir/configure.log" 2>&1 ||
+    { cat "$dir/configure.log"; return 1; }
   cmake --build "$dir" -j "$JOBS"
 }
 
@@ -97,8 +107,9 @@ for stage in "${STAGES[@]}"; do
       # PoissonSolverParallel.*, MultigridParallel.*, and
       # TablegenWarmBiasParallel.*).
       DIR="$ROOT/build-ci-perf"
-      cmake -B "$DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >"$DIR.configure.log" 2>&1 ||
-        { cat "$DIR.configure.log"; exit 1; }
+      mkdir -p "$DIR"
+      cmake -B "$DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >"$DIR/configure.log" 2>&1 ||
+        { cat "$DIR/configure.log"; exit 1; }
       cmake --build "$DIR" -j "$JOBS" --target bench_poisson_solver
       (cd "$DIR" &&
         GNRFET_BENCH_POISSON_NX=24 GNRFET_BENCH_POISSON_NY=16 GNRFET_BENCH_POISSON_NZ=16 \
@@ -197,6 +208,25 @@ for stage in "${STAGES[@]}"; do
         { echo "perf-smoke: adaptive grid not thread-deterministic ($A1 vs $A4)" >&2; exit 1; }
       echo "perf-smoke: uniform and adaptive currents bit-identical across GNRFET_THREADS=1/4"
       ;;
+    analyze)
+      banner "static analysis: repo lint + layering/determinism/contract passes"
+      configure_and_build "$ROOT/build-ci-analyze"
+      cmake --build "$ROOT/build-ci-analyze" -j "$JOBS" \
+        --target gnrfet_lint gnrfet_analyze
+      "$ROOT/build-ci-analyze/tools/gnrfet_lint" "$ROOT"
+      "$ROOT/build-ci-analyze/tools/gnrfet_analyze" "$ROOT"
+      ;;
+    thread-safety)
+      if ! command -v clang++ >/dev/null 2>&1; then
+        banner "clang++ not installed; skipping thread-safety stage"
+        continue
+      fi
+      banner "clang -Wthread-safety over the capability annotations"
+      # The build is the check: -Werror=thread-safety fails it on any
+      # GNRFET_GUARDED_BY/GNRFET_REQUIRES violation.
+      configure_and_build "$ROOT/build-ci-tsafety" \
+        -DCMAKE_CXX_COMPILER=clang++ -DGNRFET_THREAD_SAFETY=ON
+      ;;
     tidy)
       if ! command -v clang-tidy >/dev/null 2>&1; then
         banner "clang-tidy not installed; skipping tidy stage"
@@ -207,7 +237,8 @@ for stage in "${STAGES[@]}"; do
       ;;
     *)
       echo "ci_checks: unknown stage '$stage'" >&2
-      echo "known stages: werror asan-ubsan tsan checks-off trace perf-smoke tidy" >&2
+      echo "known stages: werror asan-ubsan tsan checks-off trace perf-smoke" \
+           "analyze thread-safety tidy" >&2
       exit 2
       ;;
   esac

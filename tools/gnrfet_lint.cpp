@@ -15,11 +15,11 @@
 //   unchecked-getenv        std::getenv only via common/env.hpp helpers
 //                           (null/empty/parse handling in one place)
 //
-// Comments and string literals are stripped before matching, so rule names
-// in documentation (or in this file) do not trip the rules themselves.
+// Comments and string literals are stripped before matching (via the shared
+// scanner in tools/source_scan.hpp), so rule names in documentation (or in
+// this file) do not trip the rules themselves.
 // Usage: gnrfet_lint [repo_root]   (exit 0 = clean, 1 = violations)
 
-#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -27,9 +27,14 @@
 #include <string>
 #include <vector>
 
+#include "tools/source_scan.hpp"
+
 namespace {
 
 namespace fs = std::filesystem;
+using gnrfet::scan::find_token;
+using gnrfet::scan::has_call;
+using gnrfet::scan::strip_comments_and_strings;
 
 struct Violation {
   std::string file;
@@ -37,98 +42,6 @@ struct Violation {
   std::string rule;
   std::string message;
 };
-
-/// Blank out comments and string/char literals, preserving newlines so
-/// line numbers survive. Handles //, /* */, "..." and '...' with escapes.
-std::string strip_comments_and_strings(const std::string& in) {
-  std::string out;
-  out.reserve(in.size());
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  State st = State::kCode;
-  for (size_t i = 0; i < in.size(); ++i) {
-    const char c = in[i];
-    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
-    switch (st) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          st = State::kLineComment;
-          out += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          st = State::kBlockComment;
-          out += "  ";
-          ++i;
-        } else if (c == '"') {
-          st = State::kString;
-          out += ' ';
-        } else if (c == '\'') {
-          st = State::kChar;
-          out += ' ';
-        } else {
-          out += c;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          st = State::kCode;
-          out += '\n';
-        } else {
-          out += ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          st = State::kCode;
-          out += "  ";
-          ++i;
-        } else {
-          out += (c == '\n') ? '\n' : ' ';
-        }
-        break;
-      case State::kString:
-      case State::kChar:
-        if (c == '\\') {
-          out += "  ";
-          ++i;
-        } else if ((st == State::kString && c == '"') || (st == State::kChar && c == '\'')) {
-          st = State::kCode;
-          out += ' ';
-        } else {
-          out += (c == '\n') ? '\n' : ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
-
-/// Position of `token` in `line` as a whole identifier (not a substring of
-/// a longer identifier), or npos.
-size_t find_token(const std::string& line, const std::string& token, size_t from = 0) {
-  size_t pos = line.find(token, from);
-  while (pos != std::string::npos) {
-    const bool left_ok = pos == 0 || !ident_char(line[pos - 1]);
-    const size_t end = pos + token.size();
-    const bool right_ok = end >= line.size() || !ident_char(line[end]);
-    if (left_ok && right_ok) return pos;
-    pos = line.find(token, pos + 1);
-  }
-  return std::string::npos;
-}
-
-/// `token` occurs as an identifier and the next non-space character is '('.
-bool has_call(const std::string& line, const std::string& token) {
-  size_t pos = find_token(line, token);
-  while (pos != std::string::npos) {
-    size_t i = pos + token.size();
-    while (i < line.size() && line[i] == ' ') ++i;
-    if (i < line.size() && line[i] == '(') return true;
-    pos = find_token(line, token, pos + 1);
-  }
-  return false;
-}
 
 /// `delete` used as an operator (raw deallocation) rather than `= delete`.
 bool has_raw_delete(const std::string& line) {
