@@ -1,0 +1,147 @@
+/// Device-table service macrobenchmark: measures the three service paths on
+/// a private cache directory under bench_out/. Phase "cold" generates three
+/// tiny real device variants through the service (the NEGF pipeline, one
+/// generation each); phase "warm_batch" replays ~10^6 mixed lookups over
+/// those warm keys through the batch API (shrink with
+/// GNRFET_BENCH_TS_LOOKUPS); phase "stampede" hammers one fresh variant
+/// from 8 concurrent callers, which must coalesce onto a single generation.
+/// Emits bench_out/BENCH_tableservice.json with one {phase, ...} record per
+/// line plus a CSV mirror. tools/ci_checks.sh perf-smoke asserts the
+/// warm-batch rate is >= 100x the cold generation rate, the stampede ran
+/// exactly one generation, and its wall time stays near one generation.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/metrics.hpp"
+#include "common/parallel.hpp"
+#include "service/tableservice.hpp"
+
+using namespace gnrfet;
+
+namespace {
+
+uint64_t counter_total(metrics::Counter c) {
+  return metrics::snapshot().counters[static_cast<size_t>(c)];
+}
+
+/// Tiny real device (the test-suite geometry): full self-consistent
+/// NEGF-Poisson generation on a 2x2 bias grid, seconds per variant.
+service::TableRequest tiny_request(int n_index) {
+  service::TableRequest req;
+  req.spec.n_index = n_index;
+  req.spec.channel_length_nm = 6.0;
+  req.spec.grid_step_nm = 0.35;
+  req.spec.lateral_margin_nm = 2.0;
+  req.spec.num_modes = 2;
+  req.opts.vg_points = 2;
+  req.opts.vd_points = 2;
+  req.opts.vg_max = 0.5;
+  req.opts.vd_max = 0.5;
+  req.opts.solve.energy_step_eV = 5e-3;
+  req.opts.solve.gummel_tolerance_V = 3e-3;
+  return req;
+}
+
+}  // namespace
+
+int main() {
+  const int lookups = bench::env_int("GNRFET_BENCH_TS_LOOKUPS", 1000000);
+  const int batch_size = bench::env_int("GNRFET_BENCH_TS_BATCH", 1536);
+  const int callers = bench::env_int("GNRFET_BENCH_TS_CALLERS", 8);
+
+  bench::banner("Device-table service (LRU pool, batched queries, coalescing)");
+  bench::output_path("table_service");  // ensures bench_out/ exists
+  // A private, initially empty cache directory: the cold phase must
+  // actually generate, and reruns must not inherit earlier tables.
+  const std::string cache_dir = "bench_out/tableservice_cache";
+  std::filesystem::remove_all(cache_dir);
+  ::setenv("GNRFET_CACHE_DIR", cache_dir.c_str(), 1);
+
+  std::ofstream json("bench_out/BENCH_tableservice.json");
+  json.precision(17);
+  csv::Table table({"phase_id", "items", "generations", "seconds", "rate_per_s"});
+  table.set_meta("phase_id", "0 = cold, 1 = warm_batch, 2 = stampede");
+
+  service::TableService svc;  // default generator, GNRFET_TABLE_LRU_MB capacity
+
+  // Phase 1: cold generation of three width variants.
+  const int variants[3] = {9, 12, 15};
+  const uint64_t misses_before_cold = counter_total(metrics::Counter::kTableCacheMisses);
+  bench::PhaseTimer cold_timer("table_service", "cold");
+  for (const int n : variants) svc.query(tiny_request(n));
+  const double cold_seconds = cold_timer.stop();
+  const uint64_t cold_generations =
+      counter_total(metrics::Counter::kTableCacheMisses) - misses_before_cold;
+  std::printf("cold: %zu variants, %llu generations, %.3f s (%.3f s/variant)\n",
+              std::size(variants), static_cast<unsigned long long>(cold_generations),
+              cold_seconds, cold_seconds / static_cast<double>(std::size(variants)));
+  json << "{\"phase\":\"cold\",\"variants\":" << std::size(variants)
+       << ",\"generations\":" << cold_generations << ",\"seconds\":" << cold_seconds << "}\n";
+  table.add_row({0.0, double(std::size(variants)), double(cold_generations), cold_seconds,
+                 double(std::size(variants)) / cold_seconds});
+
+  // Phase 2: warm-batch replay cycling the three resident keys. Every
+  // lookup must come out of the in-memory pool: zero further generations.
+  std::vector<service::TableRequest> batch;
+  batch.reserve(static_cast<size_t>(batch_size));
+  for (int i = 0; i < batch_size; ++i) {
+    batch.push_back(tiny_request(variants[static_cast<size_t>(i) % std::size(variants)]));
+  }
+  const uint64_t misses_before_warm = counter_total(metrics::Counter::kTableCacheMisses);
+  uint64_t served = 0;
+  bench::PhaseTimer warm_timer("table_service", "warm_batch");
+  while (served < static_cast<uint64_t>(lookups)) {
+    served += svc.query_batch(batch).size();
+  }
+  const double warm_seconds = warm_timer.stop();
+  const uint64_t warm_generations =
+      counter_total(metrics::Counter::kTableCacheMisses) - misses_before_warm;
+  const double warm_rate = static_cast<double>(served) / warm_seconds;
+  std::printf("warm_batch: %llu lookups, %llu generations, %.3f s (%.0f lookups/s)\n",
+              static_cast<unsigned long long>(served),
+              static_cast<unsigned long long>(warm_generations), warm_seconds, warm_rate);
+  json << "{\"phase\":\"warm_batch\",\"lookups\":" << served
+       << ",\"generations\":" << warm_generations << ",\"seconds\":" << warm_seconds
+       << ",\"rate_per_s\":" << warm_rate << "}\n";
+  table.add_row({1.0, double(served), double(warm_generations), warm_seconds, warm_rate});
+
+  // Phase 3: cold stampede — `callers` concurrent queries for one fresh
+  // variant must coalesce onto a single generation, so the wall time stays
+  // near one cold generation rather than `callers` of them.
+  service::TableRequest fresh = tiny_request(12);
+  fresh.spec.impurities.push_back({1.0, 1.0, 0.0, 0.4});
+  const int old_threads = par::thread_count();
+  par::set_thread_count(callers);
+  const uint64_t misses_before_stampede = counter_total(metrics::Counter::kTableCacheMisses);
+  bench::PhaseTimer stampede_timer("table_service", "stampede");
+  par::parallel_for(static_cast<size_t>(callers), [&](size_t) { svc.query(fresh); });
+  const double stampede_seconds = stampede_timer.stop();
+  par::set_thread_count(old_threads);
+  const uint64_t stampede_generations =
+      counter_total(metrics::Counter::kTableCacheMisses) - misses_before_stampede;
+  std::printf("stampede: %d callers, %llu generation(s), %.3f s\n", callers,
+              static_cast<unsigned long long>(stampede_generations), stampede_seconds);
+  json << "{\"phase\":\"stampede\",\"callers\":" << callers
+       << ",\"generations\":" << stampede_generations << ",\"seconds\":" << stampede_seconds
+       << "}\n";
+  table.add_row({2.0, double(callers), double(stampede_generations), stampede_seconds,
+                 double(callers) / stampede_seconds});
+
+  const service::TableService::Stats st = svc.stats();
+  std::printf("service stats: %llu hits, %llu misses, %llu coalesced, %llu evictions, "
+              "%zu entries (%zu bytes pooled)\n",
+              static_cast<unsigned long long>(st.hits),
+              static_cast<unsigned long long>(st.misses),
+              static_cast<unsigned long long>(st.coalesced),
+              static_cast<unsigned long long>(st.evictions), st.entries, st.bytes);
+
+  json.close();
+  std::printf("[json] bench_out/BENCH_tableservice.json\n");
+  bench::save_csv(table, "table_service");
+  std::filesystem::remove_all(cache_dir);
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -53,7 +54,11 @@ void Table::save(const std::string& path) const {
   if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
   std::ofstream out(path);
   if (!out) throw std::runtime_error("csv: cannot open for write: " + path);
-  out.precision(12);
+  // max_digits10 (17) makes the decimal text round-trip every finite double
+  // bit-for-bit through load(); anything less (the old precision(12)) made a
+  // table served from the disk cache differ bitwise from the freshly
+  // generated one.
+  out.precision(std::numeric_limits<double>::max_digits10);
   for (const auto& [k, v] : meta_) out << "# " << k << " = " << v << "\n";
   for (size_t i = 0; i < columns_.size(); ++i) {
     out << columns_[i] << (i + 1 == columns_.size() ? "\n" : ",");

@@ -69,7 +69,10 @@ const char* kCounterNames[kNumCounters] = {
     "negf_energy_points_saved",
     "poisson_newton_iterations", "pcg_iterations", "pcg_precond_setups",
     "mg_vcycles",
-    "table_cache_hits",  "table_cache_misses",  "mna_factorizations",
+    "table_cache_hits",  "table_cache_misses",
+    "table_service_hits", "table_service_misses", "table_service_evictions",
+    "table_service_coalesced",
+    "mna_factorizations",
     "transient_steps",
 };
 

@@ -33,6 +33,10 @@ enum class Counter {
   kMgVcycles,                 ///< poisson: multigrid V-cycles (apply + standalone)
   kTableCacheHits,            ///< device: bias tables served from disk cache
   kTableCacheMisses,          ///< device: bias tables generated cold
+  kTableServiceHits,          ///< service: queries answered from the in-memory LRU
+  kTableServiceMisses,        ///< service: queries that went cold (disk load or generation)
+  kTableServiceEvictions,     ///< service: LRU entries dropped under capacity pressure
+  kTableServiceCoalesced,     ///< service: cold queries that joined another caller's generation
   kMnaFactorizations,         ///< circuit: dense LU factorizations of the MNA Jacobian
   kTransientSteps,            ///< circuit: accepted transient time steps
   kCount

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <filesystem>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -23,7 +24,12 @@ namespace gnrfet::device {
 
 std::string table_cache_payload(const DeviceSpec& spec, const TableGenOptions& opts) {
   std::ostringstream os;
-  os.precision(10);
+  // max_digits10: the key must distinguish every representable bias/option
+  // value. At the old precision(10), two specs differing below the 11th
+  // significant digit collided onto one cache key and served the wrong
+  // table. Keys for non-representable decimal values change with this fix
+  // (those cache entries regenerate once).
+  os.precision(std::numeric_limits<double>::max_digits10);
   os << spec.cache_key() << "|vg[" << opts.vg_min << "," << opts.vg_max << ","
      << opts.vg_points << "]vd[" << opts.vd_min << "," << opts.vd_max << "," << opts.vd_points
      << "]de=" << opts.solve.energy_step_eV << ";eta=" << opts.solve.eta_eV
@@ -48,7 +54,12 @@ void save_table(const DeviceTable& table, const std::string& path, const std::st
   trace::Span span("device", "save_table");
   csv::Table t({"vg", "vd", "current_A", "charge_C"});
   t.set_meta("key", key);
-  t.set_meta("band_gap_eV", std::to_string(table.band_gap_eV));
+  // std::to_string truncates to 6 digits; the metadata must round-trip the
+  // gap bit-for-bit just like the table body (cache hit == cache miss).
+  std::ostringstream gap;
+  gap.precision(std::numeric_limits<double>::max_digits10);
+  gap << table.band_gap_eV;
+  t.set_meta("band_gap_eV", gap.str());
   t.set_meta("nvg", std::to_string(table.vg.size()));
   t.set_meta("nvd", std::to_string(table.vd.size()));
   for (size_t ig = 0; ig < table.vg.size(); ++ig) {
@@ -66,7 +77,15 @@ void save_table(const DeviceTable& table, const std::string& path, const std::st
   suffix << ::getpid() << "." << std::this_thread::get_id() << "."
          << tmp_counter.fetch_add(1, std::memory_order_relaxed);
   const std::string tmp = path + ".tmp." + suffix.str();
-  t.save(tmp);
+  try {
+    t.save(tmp);
+  } catch (const std::exception& e) {
+    // A failed write (disk full, unwritable directory) must not leave the
+    // partial temp file behind; rethrow with the final path named.
+    std::error_code cleanup_ec;
+    std::filesystem::remove(tmp, cleanup_ec);
+    throw std::runtime_error("save_table: cannot write " + path + ": " + e.what());
+  }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
@@ -103,14 +122,18 @@ size_t require_size_meta(const csv::Table& t, const std::string& key, const std:
     throw std::runtime_error("load_table: " + path + ": missing '" + key +
                              "' metadata (corrupt or truncated cache file)");
   }
+  // Digits only, up front: std::stoul accepts leading whitespace and a
+  // sign, and "-3" wraps to ~2^64 — which passes the pos/nonzero checks and
+  // turns a corrupt cache file into an overflow/bad_alloc far from here.
+  const bool digits_only = raw.find_first_not_of("0123456789") == std::string::npos;
   size_t pos = 0;
   unsigned long value = 0;
   try {
-    value = std::stoul(raw, &pos);
+    if (digits_only) value = std::stoul(raw, &pos);
   } catch (const std::exception&) {
-    pos = 0;
+    pos = 0;  // out_of_range on absurdly long digit strings
   }
-  if (pos != raw.size() || value == 0) {
+  if (!digits_only || pos != raw.size() || value == 0) {
     throw std::runtime_error("load_table: " + path + ": malformed '" + key + "' metadata '" +
                              raw + "' (corrupt cache file)");
   }
@@ -126,6 +149,14 @@ DeviceTable load_table(const std::string& path) {
   table.band_gap_eV = std::stod(t.meta("band_gap_eV", "0"));
   const size_t nvg = require_size_meta(t, "nvg", path);
   const size_t nvd = require_size_meta(t, "nvd", path);
+  // Bound the product before computing it: corrupt sizes whose product
+  // wraps could alias the actual row count and drive resize() into a
+  // multi-exabyte allocation instead of the corrupt-cache-file error.
+  if (nvg > std::numeric_limits<size_t>::max() / nvd) {
+    throw std::runtime_error("load_table: " + path + ": nvg*nvd = " + std::to_string(nvg) +
+                             "*" + std::to_string(nvd) +
+                             " overflows size_t (corrupt cache file)");
+  }
   if (t.num_rows() != nvg * nvd) {
     throw std::runtime_error("load_table: " + path + ": row count " +
                              std::to_string(t.num_rows()) + " != nvg*nvd = " +
@@ -138,8 +169,23 @@ DeviceTable load_table(const std::string& path) {
   for (size_t ig = 0; ig < nvg; ++ig) {
     for (size_t id = 0; id < nvd; ++id) {
       const size_t row = ig * nvd + id;
-      table.vg[ig] = t.at(row, "vg");
-      table.vd[id] = t.at(row, "vd");
+      const double vg = t.at(row, "vg");
+      const double vd = t.at(row, "vd");
+      // Each row restates its axis coordinates; a row disagreeing with the
+      // already-recorded entry means scrambled/truncated-and-padded data and
+      // must not silently overwrite the axis.
+      if (id == 0) {
+        table.vg[ig] = vg;
+      } else if (vg != table.vg[ig]) {
+        throw std::runtime_error("load_table: " + path + ": row " + std::to_string(row) +
+                                 " vg disagrees with its axis entry (corrupt cache file)");
+      }
+      if (ig == 0) {
+        table.vd[id] = vd;
+      } else if (vd != table.vd[id]) {
+        throw std::runtime_error("load_table: " + path + ": row " + std::to_string(row) +
+                                 " vd disagrees with its axis entry (corrupt cache file)");
+      }
       table.current_A[row] = t.at(row, "current_A");
       table.charge_C[row] = t.at(row, "charge_C");
     }

@@ -20,6 +20,12 @@ double latch_static_power(const circuit::InverterModels& m, double vdd) {
 
 std::vector<LatchCase> run_latch_study(DesignKit& kit, const LatchStudyOptions& opts) {
   std::vector<LatchCase> cases;
+  // One deduplicating batch for every table the three cases touch: the
+  // nominal device plus the worst-case n-variant and the p-variant's
+  // particle-hole mirror (inverter_with_variants negates the p impurity).
+  kit.warm({{12, 0.0},
+            opts.worst_n,
+            {opts.worst_p.n_index, -opts.worst_p.impurity_q}});
   const int affected_counts[3] = {0, 1, 4};
   const char* labels[3] = {"nominal", "single GNR affected", "all GNRs affected"};
   for (int i = 0; i < 3; ++i) {

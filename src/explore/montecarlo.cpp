@@ -33,11 +33,14 @@ MonteCarloResult run_ring_monte_carlo(DesignKit& kit, const MonteCarloOptions& o
   // Width draws: N = 12 + 3 * z with z in {-1, 0, +1} -> {9, 12, 15};
   // charge draws: q = z in {-1, 0, +1}. Warm every table the draws can
   // reach before fanning out (mirrors explore_plane's vt0() warm-up): a
-  // cold-cache miss inside a sample would otherwise run the whole NEGF
-  // table generation inline under the kit mutex, serializing the pool.
+  // cold-cache miss inside a sample would otherwise stall that sample on
+  // a full NEGF table generation. One batch query deduplicates against
+  // the service pool and resolves the cold ones in deterministic order.
+  std::vector<VariantSpec> reachable;
   for (int n : {9, 12, 15}) {
-    for (int q : {-1, 0, 1}) kit.table({n, static_cast<double>(q)});
+    for (int q : {-1, 0, 1}) reachable.push_back({n, static_cast<double>(q)});
   }
+  kit.warm(reachable);
 
   // Samples run in parallel; each draws from its own generator seeded by
   // seed_seq-mixing (seed, sample index), so every sample's variant stream

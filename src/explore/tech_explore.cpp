@@ -10,6 +10,20 @@
 
 namespace gnrfet::explore {
 
+namespace {
+
+/// Variant identity -> service request (the kit's one spec convention:
+/// a nonzero oxide charge becomes a single impurity at mid-channel).
+service::TableRequest request_for(const VariantSpec& v) {
+  service::TableRequest req;
+  req.spec.n_index = v.n_index;
+  if (v.impurity_q != 0.0) req.spec.impurities.push_back({v.impurity_q, 1.0, 0.0, 0.4});
+  req.opts = standard_table_options();
+  return req;
+}
+
+}  // namespace
+
 device::TableGenOptions standard_table_options() {
   device::TableGenOptions opts;
   opts.vg_min = 0.0;
@@ -21,29 +35,58 @@ device::TableGenOptions standard_table_options() {
   return opts;
 }
 
-DesignKit::DesignKit(model::Parasitics parasitics) : parasitics_(parasitics) {}
+DesignKit::DesignKit(model::Parasitics parasitics, service::TableService* service)
+    : parasitics_(parasitics),
+      service_(service != nullptr ? service : &service::TableService::shared()) {}
 
 const device::DeviceTable& DesignKit::table(const VariantSpec& v) {
+  {
+    common::MutexLock lk(mu_);
+    const auto it = tables_.find(v);
+    if (it != tables_.end()) return *it->second;
+  }
+  // Resolve outside the kit lock: distinct variants generate concurrently,
+  // identical ones coalesce onto one generation inside the service.
+  trace::Span span("explore", "design_kit_table");
+  auto table = service_->query(request_for(v));
   common::MutexLock lk(mu_);
-  return table_locked(v);
+  return adopt_locked(v, std::move(table));
 }
 
-const device::DeviceTable& DesignKit::table_locked(const VariantSpec& v) {
-  const auto it = tables_.find(v);
-  if (it != tables_.end()) return it->second;
-  trace::Span span("explore", "design_kit_table");
-  device::DeviceSpec spec;
-  spec.n_index = v.n_index;
-  if (v.impurity_q != 0.0) spec.impurities.push_back({v.impurity_q, 1.0, 0.0, 0.4});
-  auto table = device::generate_device_table(spec, standard_table_options());
-  return tables_.emplace(v, std::move(table)).first->second;
+const device::DeviceTable& DesignKit::adopt_locked(
+    const VariantSpec& v, std::shared_ptr<const device::DeviceTable> table) {
+  return *tables_.emplace(v, std::move(table)).first->second;
+}
+
+void DesignKit::warm(const std::vector<VariantSpec>& variants) {
+  trace::Span span("explore", "design_kit_warm");
+  // Variants already resident in the kit — including tables injected with
+  // set_table, which the service never sees — need no resolution.
+  std::vector<VariantSpec> missing;
+  {
+    common::MutexLock lk(mu_);
+    for (const auto& v : variants) {
+      if (tables_.find(v) == tables_.end()) missing.push_back(v);
+    }
+  }
+  if (missing.empty()) return;
+  std::vector<service::TableRequest> requests;
+  requests.reserve(missing.size());
+  for (const auto& v : missing) requests.push_back(request_for(v));
+  auto replies = service_->query_batch(requests);
+  common::MutexLock lk(mu_);
+  for (size_t i = 0; i < missing.size(); ++i) {
+    adopt_locked(missing[i], std::move(replies[i].table));
+  }
 }
 
 void DesignKit::set_table(const VariantSpec& v, device::DeviceTable table) {
   common::MutexLock lk(mu_);
   // Refuse to replace an existing entry: table() hands out references whose
-  // validity rests on map entries never being destroyed or reassigned.
-  if (!tables_.emplace(v, std::move(table)).second) {
+  // validity rests on map entries never being reassigned. Injection stays
+  // kit-local on purpose — it must not pollute the shared service pool.
+  auto shared = std::make_shared<const device::DeviceTable>(std::move(table));
+  if (!tables_.emplace(v, std::move(shared)).second) {
     throw std::logic_error(
         "DesignKit::set_table: variant already has a table; inject tables "
         "before the variant's first use");
@@ -51,29 +94,41 @@ void DesignKit::set_table(const VariantSpec& v, device::DeviceTable table) {
 }
 
 double DesignKit::vt0() {
-  common::MutexLock lk(mu_);
-  return vt0_locked();
-}
-
-double DesignKit::vt0_locked() {
-  if (vt0_ >= 0.0) return vt0_;
-  const device::DeviceTable& t = table_locked({12, 0.0});
+  {
+    common::MutexLock lk(mu_);
+    if (vt0_ >= 0.0) return vt0_;
+  }
+  // May generate: resolve the nominal table without holding mu_. A racing
+  // extraction computes the identical value (same table bits), so last
+  // write wins harmlessly.
+  const device::DeviceTable& t = table({12, 0.0});
   // Extract at the lowest nonzero drain bias on the grid (0.05 V), per the
   // max-gm method of Fig. 2(b).
   const size_t ivd = 1;
   std::vector<double> id(t.vg.size());
   for (size_t ig = 0; ig < t.vg.size(); ++ig) id[ig] = t.at_current(ig, ivd);
-  vt0_ = device::extract_threshold_voltage(t.vg, id);
+  const double vt0 = device::extract_threshold_voltage(t.vg, id);
+  common::MutexLock lk(mu_);
+  vt0_ = vt0;
   return vt0_;
 }
 
 model::IntrinsicFet DesignKit::channel(const VariantSpec& v, model::Polarity pol,
                                        double offset) {
-  common::MutexLock lk(mu_);
-  auto it = fet_tables_.find(v);
-  if (it == fet_tables_.end()) {
-    it = fet_tables_.emplace(v, model::make_fet_tables(table_locked(v))).first;
+  {
+    common::MutexLock lk(mu_);
+    const auto it = fet_tables_.find(v);
+    if (it != fet_tables_.end()) {
+      return model::IntrinsicFet(it->second.current_A, it->second.charge_C, pol, offset);
+    }
   }
+  // Build the interpolation tables outside the lock (table() may generate).
+  // Racing builders produce bit-identical FetTables; the first emplace
+  // wins and everyone returns references into that entry.
+  const device::DeviceTable& t = table(v);
+  model::FetTables ft = model::make_fet_tables(t);
+  common::MutexLock lk(mu_);
+  const auto it = fet_tables_.emplace(v, std::move(ft)).first;
   return model::IntrinsicFet(it->second.current_A, it->second.charge_C, pol, offset);
 }
 

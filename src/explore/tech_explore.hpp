@@ -1,12 +1,14 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "circuit/measure.hpp"
 #include "common/annotations.hpp"
 #include "device/tablegen.hpp"
 #include "model/intrinsic_fet.hpp"
+#include "service/tableservice.hpp"
 
 /// Technology exploration of Sec. 3.1: build GNRFET inverter models at any
 /// (VT, VDD) design point from the cached intrinsic-device tables, sweep
@@ -28,16 +30,27 @@ device::TableGenOptions standard_table_options();
 
 /// Loads (generating on miss) device tables and builds circuit models.
 ///
+/// Table resolution goes through a service::TableService (the process-wide
+/// shared() instance unless one is injected): the kit only keeps shared
+/// handles per variant, while the service owns the in-memory LRU, the
+/// batch path, and single-flight coalescing with other kits/processes.
+///
 /// Thread safety: all public methods may be called concurrently (the
-/// parallel Monte Carlo and plane sweeps do); the internal caches are
-/// guarded by a mutex, and a variant's first-use generation happens once
-/// while other callers block on it.
+/// parallel Monte Carlo and plane sweeps do); the per-kit maps are guarded
+/// by a mutex, generation never runs under that lock (distinct variants
+/// generate concurrently; identical ones coalesce in the service).
 class DesignKit {
  public:
-  explicit DesignKit(model::Parasitics parasitics = model::Parasitics::from_per_width(0.1, 40.0));
+  explicit DesignKit(model::Parasitics parasitics = model::Parasitics::from_per_width(0.1, 40.0),
+                     service::TableService* service = nullptr);
 
   /// Cached table lookup; generates (minutes) on first use of a variant.
   const device::DeviceTable& table(const VariantSpec& v);
+
+  /// Resolve a batch of variants through the service's deduplicating batch
+  /// API before fanning a study out: warm variants cost one lock pass, cold
+  /// ones generate once each in deterministic order.
+  void warm(const std::vector<VariantSpec>& variants);
 
   /// Inject a pre-built table for a variant (tests and synthetic studies:
   /// lets the circuit layers run without the NEGF pipeline). Setup-only:
@@ -65,16 +78,20 @@ class DesignKit {
 
  private:
   model::IntrinsicFet channel(const VariantSpec& v, model::Polarity pol, double offset);
-  /// Lock-held internals: the public methods take mu_ once and delegate,
-  /// so cache misses never re-enter the lock (no recursive mutex).
-  const device::DeviceTable& table_locked(const VariantSpec& v) GNRFET_REQUIRES(mu_);
-  double vt0_locked() GNRFET_REQUIRES(mu_);
+  /// Adopt a service-resolved table into the per-kit map; on a race the
+  /// first insertion wins (the service hands every racer the same entry).
+  const device::DeviceTable& adopt_locked(const VariantSpec& v,
+                                          std::shared_ptr<const device::DeviceTable> table)
+      GNRFET_REQUIRES(mu_);
 
   model::Parasitics parasitics_;
-  /// Guards every cache below. Map entries are stable under insertion, so
-  /// the references table() hands out outlive the lock.
+  service::TableService* service_;  ///< never null; defaults to TableService::shared()
+  /// Guards every cache below. The table handles are shared with the
+  /// service pool, so references table() hands out stay valid even after
+  /// an LRU eviction; map entries are stable under insertion.
   common::Mutex mu_;
-  std::map<VariantSpec, device::DeviceTable> tables_ GNRFET_GUARDED_BY(mu_);
+  std::map<VariantSpec, std::shared_ptr<const device::DeviceTable>> tables_
+      GNRFET_GUARDED_BY(mu_);
   std::map<VariantSpec, model::FetTables> fet_tables_ GNRFET_GUARDED_BY(mu_);
   double vt0_ GNRFET_GUARDED_BY(mu_) = -1.0;
 };

@@ -1,0 +1,262 @@
+#include "service/tableservice.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+#include <utility>
+
+#include "common/cache.hpp"
+#include "common/env.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+
+namespace gnrfet::service {
+
+namespace {
+
+constexpr size_t kDefaultCapacityMb = 256;
+
+/// Payload footprint of one pooled table (the dominant vectors plus the
+/// struct itself); the LRU budget is accounted in these bytes.
+size_t table_bytes(const device::DeviceTable& t) {
+  const size_t doubles = t.vg.size() + t.vd.size() + t.current_A.size() + t.charge_C.size();
+  return doubles * sizeof(double) + sizeof(device::DeviceTable);
+}
+
+/// Advisory flock(2) on a sidecar file beside the cache entry, serializing
+/// cold generation across *processes* sharing one cache directory (the
+/// in-process side is handled by single-flight coalescing).
+///
+/// The sidecar is unlinked while the lock is still held, so the directory
+/// does not accumulate stale .lock files. A waiter that acquired the lock
+/// through the now-unlinked inode re-checks the cache entry on disk first
+/// (the table file is always written before the unlink), so the worst case
+/// of the unlink race is one redundant generation, never a wrong table.
+///
+/// Lock failures (unwritable directory, exotic filesystems) degrade to
+/// uncoordinated generation: both processes write the same bit-exact table
+/// through the atomic rename in device::save_table.
+class FileLock {
+ public:
+  explicit FileLock(const std::string& path) : path_(path) {
+    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ < 0) return;
+    while (::flock(fd_, LOCK_EX) != 0) {
+      if (errno != EINTR) {
+        ::close(fd_);
+        fd_ = -1;
+        return;
+      }
+    }
+  }
+
+  ~FileLock() {
+    if (fd_ < 0) return;
+    ::unlink(path_.c_str());
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);
+  }
+
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+}  // namespace
+
+TableService::TableService() : TableService(Options{}) {}
+
+TableService::TableService(Options opts)
+    : generator_(opts.generator ? std::move(opts.generator)
+                                : Generator(&device::generate_device_table)),
+      cross_process_lock_(opts.cross_process_lock) {
+  if (opts.capacity_bytes > 0) {
+    capacity_bytes_ = opts.capacity_bytes;
+  } else {
+    const int mb = common::env_int("GNRFET_TABLE_LRU_MB", static_cast<int>(kDefaultCapacityMb));
+    capacity_bytes_ = static_cast<size_t>(mb) * 1024 * 1024;
+  }
+}
+
+TableService& TableService::shared() {
+  static TableService instance;
+  return instance;
+}
+
+std::shared_ptr<const device::DeviceTable> TableService::query(const TableRequest& request) {
+  trace::Span span("service", "query");
+  return resolve(device::table_cache_payload(request.spec, request.opts), request);
+}
+
+std::vector<TableReply> TableService::query_batch(const std::vector<TableRequest>& requests) {
+  trace::Span span("service", "query_batch");
+  std::vector<TableReply> replies(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    replies[i].key = device::table_cache_payload(requests[i].spec, requests[i].opts);
+  }
+
+  // Pass 1, one lock hold: answer every warm request straight from the
+  // pool and collect the unique cold keys in first-appearance order.
+  std::vector<std::string> cold_order;
+  std::map<std::string, size_t> cold_first;
+  {
+    common::MutexLock lk(mu_);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      if (auto hit = lookup_locked(replies[i].key)) {
+        replies[i].table = std::move(hit);
+        replies[i].warm = true;
+        ++stats_.hits;
+        metrics::add(metrics::Counter::kTableServiceHits);
+      } else if (cold_first.emplace(replies[i].key, i).second) {
+        cold_order.push_back(replies[i].key);
+      }
+    }
+  }
+
+  // Pass 2: resolve each unique cold key once, in batch order. Sequential
+  // on purpose — generation is internally parallel (the NEGF bias grid),
+  // and a fixed resolution order keeps the batch deterministic for any
+  // GNRFET_THREADS.
+  std::map<std::string, std::shared_ptr<const device::DeviceTable>> resolved;
+  for (const auto& key : cold_order) {
+    resolved[key] = resolve(key, requests[cold_first[key]]);
+  }
+
+  // Pass 3: duplicate cold requests share the leader's entry.
+  for (auto& reply : replies) {
+    if (!reply.table) reply.table = resolved.at(reply.key);
+  }
+  return replies;
+}
+
+std::shared_ptr<const device::DeviceTable> TableService::resolve(const std::string& key,
+                                                                 const TableRequest& request) {
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    common::MutexLock lk(mu_);
+    if (auto hit = lookup_locked(key)) {
+      ++stats_.hits;
+      metrics::add(metrics::Counter::kTableServiceHits);
+      return hit;
+    }
+    const auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      flight = it->second;
+      ++stats_.coalesced;
+      metrics::add(metrics::Counter::kTableServiceCoalesced);
+    } else {
+      flight = std::make_shared<Flight>();
+      inflight_.emplace(key, flight);
+      leader = true;
+      ++stats_.misses;
+      metrics::add(metrics::Counter::kTableServiceMisses);
+    }
+  }
+
+  if (!leader) {
+    trace::Span span("service", "coalesce_wait");
+    common::MutexLock lk(flight->mu);
+    while (!flight->done) flight->cv.wait(flight->mu);
+    if (flight->error) std::rethrow_exception(flight->error);
+    return flight->table;
+  }
+
+  std::shared_ptr<const device::DeviceTable> table;
+  std::exception_ptr error;
+  try {
+    table = resolve_cold(key, request);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  {
+    common::MutexLock lk(mu_);
+    if (table) insert_locked(key, table);
+    inflight_.erase(key);
+  }
+  {
+    common::MutexLock lk(flight->mu);
+    flight->done = true;
+    flight->table = table;
+    flight->error = error;
+  }
+  flight->cv.notify_all();
+  if (error) std::rethrow_exception(error);
+  return table;
+}
+
+std::shared_ptr<const device::DeviceTable> TableService::resolve_cold(
+    const std::string& key, const TableRequest& request) {
+  trace::Span span("service", "resolve_cold");
+  if (request.opts.use_cache && cross_process_lock_) {
+    const std::string path = cache::path_for("device-table", key);
+    FileLock lock(path + ".lock");
+    // Another process may have finished the same generation while we
+    // waited on the lockfile: its table is on disk now, load it directly.
+    if (cache::exists(path)) {
+      metrics::add(metrics::Counter::kTableCacheHits);
+      return std::make_shared<const device::DeviceTable>(device::load_table(path));
+    }
+    return std::make_shared<const device::DeviceTable>(generator_(request.spec, request.opts));
+  }
+  return std::make_shared<const device::DeviceTable>(generator_(request.spec, request.opts));
+}
+
+std::shared_ptr<const device::DeviceTable> TableService::lookup_locked(const std::string& key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);  // bump to most recent
+  return it->second.table;
+}
+
+void TableService::insert_locked(const std::string& key,
+                                 const std::shared_ptr<const device::DeviceTable>& table) {
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Lost a clear()-vs-leader race or a duplicate injection; keep the
+    // resident entry (both are bit-identical by construction).
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  lru_.push_front(key);
+  Entry entry;
+  entry.table = table;
+  entry.bytes = table_bytes(*table);
+  entry.lru_pos = lru_.begin();
+  bytes_ += entry.bytes;
+  entries_.emplace(key, std::move(entry));
+  // Evict from the cold end, but always retain the newest entry so a
+  // single oversized table still gets pooled.
+  while (bytes_ > capacity_bytes_ && entries_.size() > 1) {
+    const std::string& victim = lru_.back();
+    const auto vit = entries_.find(victim);
+    bytes_ -= vit->second.bytes;
+    entries_.erase(vit);
+    lru_.pop_back();
+    ++stats_.evictions;
+    metrics::add(metrics::Counter::kTableServiceEvictions);
+  }
+}
+
+TableService::Stats TableService::stats() const {
+  common::MutexLock lk(mu_);
+  Stats s = stats_;
+  s.entries = entries_.size();
+  s.bytes = bytes_;
+  return s;
+}
+
+void TableService::clear() {
+  common::MutexLock lk(mu_);
+  entries_.clear();
+  lru_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace gnrfet::service

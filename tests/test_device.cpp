@@ -1,10 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <sys/resource.h>
+
 #include <cmath>
+#include <csignal>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 
 #include "common/contracts.hpp"
+#include "common/env.hpp"
+#include "common/metrics.hpp"
+#include "common/strings.hpp"
 #include "device/geometry.hpp"
 #include "device/selfconsistent.hpp"
 #include "device/sweeps.hpp"
@@ -267,6 +275,209 @@ TEST(TableGen, SaveLeavesNoTempFileBehind) {
     EXPECT_EQ(e.path().filename().string(), "table.csv");
   }
   EXPECT_EQ(entries, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+/// FNV-1a fingerprint of the raw bits of a double vector: two vectors hash
+/// equal iff they are bit-for-bit identical (1e-16-close is not enough).
+std::string bits_hash(const std::vector<double>& v) {
+  return strings::hash_hex(
+      std::string(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(double)));
+}
+
+/// Scoped GNRFET_CACHE_DIR override restoring the previous value on exit.
+struct CacheDirGuard {
+  explicit CacheDirGuard(const std::string& dir)
+      : had_(common::env_set("GNRFET_CACHE_DIR")),
+        previous_(common::env_or("GNRFET_CACHE_DIR", "")) {
+    ::setenv("GNRFET_CACHE_DIR", dir.c_str(), 1);
+  }
+  ~CacheDirGuard() {
+    if (had_) {
+      ::setenv("GNRFET_CACHE_DIR", previous_.c_str(), 1);
+    } else {
+      ::unsetenv("GNRFET_CACHE_DIR");
+    }
+  }
+  bool had_;
+  std::string previous_;
+};
+
+TEST(TableGen, CsvRoundTripIsBitExact) {
+  // Values with no finite decimal expansion: at the old precision(12) the
+  // save/load round trip flipped low-order mantissa bits, so a table served
+  // from the disk cache differed bitwise from the freshly generated one.
+  DeviceTable t;
+  t.vg = {0.0, 1.0 / 3.0, std::sqrt(2.0) / 2.0};
+  t.vd = {0.1 / 3.0, std::exp(1.0) / 4.0};
+  t.band_gap_eV = 0.61234567890123456;
+  for (size_t i = 0; i < 6; ++i) {
+    const double x = static_cast<double>(i) + 1.0;
+    t.current_A.push_back(1e-6 / (3.0 * x));
+    t.charge_C.push_back(-1e-19 * std::sqrt(x));
+  }
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gnrfet_table_bitexact.csv").string();
+  save_table(t, path, "bitexact-key");
+  const DeviceTable r = load_table(path);
+  EXPECT_EQ(bits_hash(r.vg), bits_hash(t.vg));
+  EXPECT_EQ(bits_hash(r.vd), bits_hash(t.vd));
+  EXPECT_EQ(bits_hash(r.current_A), bits_hash(t.current_A));
+  EXPECT_EQ(bits_hash(r.charge_C), bits_hash(t.charge_C));
+  EXPECT_EQ(bits_hash({r.band_gap_eV}), bits_hash({t.band_gap_eV}));
+  std::filesystem::remove(path);
+}
+
+TEST(TableGen, CacheHitMatchesMissBitExact) {
+  // The full pipeline promise: generating cold and re-loading the result
+  // through the cache must produce the same table down to the last bit.
+  const auto dir = std::filesystem::temp_directory_path() / "gnrfet_cache_bitexact";
+  std::filesystem::remove_all(dir);
+  CacheDirGuard guard(dir.string());
+  TableGenOptions opts;
+  opts.vg_points = 2;
+  opts.vd_points = 2;
+  opts.vg_max = 0.5;
+  opts.vd_max = 0.5;
+  opts.solve = fast_opts();
+  const DeviceSpec spec = tiny_spec();
+  const auto hits_of = [] {
+    return metrics::snapshot().counters[static_cast<size_t>(metrics::Counter::kTableCacheHits)];
+  };
+  const uint64_t hits_before = hits_of();
+  const DeviceTable cold = generate_device_table(spec, opts);
+  EXPECT_EQ(hits_of(), hits_before);  // first generation was a miss
+  const DeviceTable warm = generate_device_table(spec, opts);
+  EXPECT_EQ(hits_of(), hits_before + 1);  // second came from the disk cache
+  EXPECT_EQ(bits_hash(warm.vg), bits_hash(cold.vg));
+  EXPECT_EQ(bits_hash(warm.vd), bits_hash(cold.vd));
+  EXPECT_EQ(bits_hash(warm.current_A), bits_hash(cold.current_A));
+  EXPECT_EQ(bits_hash(warm.charge_C), bits_hash(cold.charge_C));
+  EXPECT_EQ(bits_hash({warm.band_gap_eV}), bits_hash({cold.band_gap_eV}));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TableGen, LoadRejectsSignedOrPaddedSizeMetadata) {
+  // std::stoul accepts leading whitespace and a sign — "-3" wraps to ~2^64,
+  // which then drove resize() toward a multi-exabyte allocation. The parser
+  // must reject anything but plain digits. (Outer whitespace is trimmed by
+  // the CSV metadata parser before it gets here; inner whitespace is not.)
+  for (const char* bad : {"-3", "+3", "3 3", "0"}) {
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "gnrfet_table_signed_meta.csv").string();
+    {
+      std::ofstream out(path);
+      out << "# nvg = " << bad << "\n";
+      out << "# nvd = 2\n";
+      out << "vg,vd,current_A,charge_C\n";
+      out << "0,0,1e-6,-1e-19\n";
+      out << "0,0.5,2e-6,-2e-19\n";
+    }
+    try {
+      load_table(path);
+      FAIL() << "expected std::runtime_error for nvg = '" << bad << "'";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("malformed"), std::string::npos) << e.what();
+      EXPECT_NE(std::string(e.what()).find("nvg"), std::string::npos) << e.what();
+    }
+    std::filesystem::remove(path);
+  }
+}
+
+TEST(TableGen, LoadRejectsOverflowingSizeProduct) {
+  // nvg*nvd wrapping size_t could alias the actual row count; the product
+  // must be bounded before it feeds the row-count check and resize().
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gnrfet_table_overflow_meta.csv").string();
+  {
+    std::ofstream out(path);
+    out << "# nvg = 9223372036854775809\n";  // 2^63 + 1
+    out << "# nvd = 4\n";
+    out << "vg,vd,current_A,charge_C\n";
+    out << "0,0,1e-6,-1e-19\n";
+  }
+  try {
+    load_table(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("overflows"), std::string::npos) << e.what();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(TableGen, LoadRejectsInconsistentAxisRows) {
+  // Every row restates its axis coordinates; a disagreeing row means the
+  // file body is scrambled and must not silently overwrite the axis.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gnrfet_table_bad_axis.csv").string();
+  {
+    std::ofstream out(path);
+    out << "# nvg = 2\n# nvd = 2\n";
+    out << "vg,vd,current_A,charge_C\n";
+    out << "0,0,1e-6,-1e-19\n";
+    out << "0,0.5,2e-6,-2e-19\n";
+    out << "0.1,0,3e-6,-3e-19\n";
+    out << "0.1,0.25,4e-6,-4e-19\n";  // vd disagrees with row 1's axis entry
+  }
+  try {
+    load_table(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("disagrees"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("vd"), std::string::npos) << e.what();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(TableGen, PayloadDistinguishesNearbyBiasValues) {
+  // Two option sets whose vg_max differs by one ulp must key distinct cache
+  // entries; at the old precision(10) they collided onto one key and the
+  // second configuration silently got the first one's table.
+  const DeviceSpec spec = tiny_spec();
+  TableGenOptions a;
+  TableGenOptions b = a;
+  b.vg_max = std::nextafter(a.vg_max, 1.0);
+  EXPECT_NE(table_cache_payload(spec, a), table_cache_payload(spec, b));
+  // Sanity: identical options still agree.
+  EXPECT_EQ(table_cache_payload(spec, a), table_cache_payload(spec, TableGenOptions{}));
+}
+
+TEST(TableGen, SaveFailureLeavesNoTempLitter) {
+  // Inject a mid-stream write failure with a file-size rlimit (running as
+  // root, permission tricks do not fail writes): the save must remove its
+  // temp file and rethrow naming the final path.
+  const auto dir = std::filesystem::temp_directory_path() / "gnrfet_save_fail_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  DeviceTable t;
+  t.vg.resize(200);
+  t.vd.resize(50);
+  for (size_t i = 0; i < t.vg.size(); ++i) t.vg[i] = 1e-3 * static_cast<double>(i);
+  for (size_t i = 0; i < t.vd.size(); ++i) t.vd[i] = 1e-3 * static_cast<double>(i);
+  t.current_A.assign(t.vg.size() * t.vd.size(), 1.0 / 3.0);
+  t.charge_C.assign(t.vg.size() * t.vd.size(), -1e-19);
+  struct rlimit old_limit {};
+  ASSERT_EQ(getrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  struct rlimit tiny_limit = old_limit;
+  tiny_limit.rlim_cur = 4096;  // far below the ~700 kB this table needs
+  void (*old_handler)(int) = std::signal(SIGXFSZ, SIG_IGN);  // EFBIG, not a kill
+  ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &tiny_limit), 0);
+  const std::string path = (dir / "table.csv").string();
+  try {
+    save_table(t, path, "litter-key");
+    ADD_FAILURE() << "expected save_table to fail under RLIMIT_FSIZE";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos) << e.what();
+  }
+  setrlimit(RLIMIT_FSIZE, &old_limit);
+  std::signal(SIGXFSZ, old_handler);
+  // No final file and, crucially, no .tmp.* litter.
+  size_t entries = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    ++entries;
+    ADD_FAILURE() << "unexpected file left behind: " << e.path();
+  }
+  EXPECT_EQ(entries, 0u);
   std::filesystem::remove_all(dir);
 }
 

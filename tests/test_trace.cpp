@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <sys/resource.h>
+
 #include <atomic>
+#include <csignal>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -266,6 +269,51 @@ TEST(TableWriterParallel, ConcurrentSavesToOnePathLeaveNoTempFiles) {
         << "leftover temp file: " << entry.path();
   }
   EXPECT_EQ(files, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TableWriterParallel, ConcurrentFailingSavesLeaveNoTempFiles) {
+  // Same race, but every writer's stream write fails mid-file (injected via
+  // RLIMIT_FSIZE — chmod tricks do not fail writes for root): each save
+  // must clean up its own temp file on the error path, concurrently.
+  const auto dir = std::filesystem::temp_directory_path() / "gnrfet_save_fail_race_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "table.csv").string();
+  device::DeviceTable t;
+  t.vg.resize(100);
+  t.vd.resize(40);
+  for (size_t i = 0; i < t.vg.size(); ++i) t.vg[i] = 1e-3 * static_cast<double>(i);
+  for (size_t i = 0; i < t.vd.size(); ++i) t.vd[i] = 1e-3 * static_cast<double>(i);
+  t.current_A.assign(t.vg.size() * t.vd.size(), 1.0 / 3.0);
+  t.charge_C.assign(t.vg.size() * t.vd.size(), -1e-19);
+
+  struct rlimit old_limit {};
+  ASSERT_EQ(getrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  struct rlimit tiny_limit = old_limit;
+  tiny_limit.rlim_cur = 4096;  // the table body needs ~280 kB
+  void (*old_handler)(int) = std::signal(SIGXFSZ, SIG_IGN);
+  ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &tiny_limit), 0);
+
+  ThreadCountGuard threads(8);
+  std::atomic<int> failures{0};
+  par::parallel_for(32, [&](size_t) {
+    try {
+      device::save_table(t, path, "fail-race-key");
+    } catch (const std::runtime_error&) {
+      failures.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  setrlimit(RLIMIT_FSIZE, &old_limit);
+  std::signal(SIGXFSZ, old_handler);
+
+  EXPECT_EQ(failures.load(), 32);
+  size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    ++files;
+    ADD_FAILURE() << "leftover file after failed saves: " << entry.path();
+  }
+  EXPECT_EQ(files, 0u);
   std::filesystem::remove_all(dir);
 }
 

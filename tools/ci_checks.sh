@@ -207,6 +207,44 @@ for stage in "${STAGES[@]}"; do
       [ "$A1" = "$A4" ] ||
         { echo "perf-smoke: adaptive grid not thread-deterministic ($A1 vs $A4)" >&2; exit 1; }
       echo "perf-smoke: uniform and adaptive currents bit-identical across GNRFET_THREADS=1/4"
+
+      # Table-service smoke: the warm-batch replay must serve lookups at
+      # >= 100x the cold generation rate, and the 8-caller cold stampede
+      # must coalesce onto exactly one generation with a wall time near a
+      # single cold generation (3x headroom for scheduling noise).
+      cmake --build "$DIR" -j "$JOBS" --target bench_table_service
+      (cd "$DIR" && GNRFET_BENCH_TS_LOOKUPS=100000 ./bench/bench_table_service)
+      TS_JSON="$DIR/bench_out/BENCH_tableservice.json"
+      test -s "$TS_JSON" || { echo "perf-smoke: no BENCH_tableservice.json written" >&2; exit 1; }
+      ts_field() {
+        sed -n "s/.*\"phase\":\"$1\".*\"$2\":\([0-9.e+-]*\).*/\1/p" "$TS_JSON"
+      }
+      COLD_VARIANTS="$(ts_field cold variants)"
+      COLD_GENS="$(ts_field cold generations)"
+      COLD_SECS="$(ts_field cold seconds)"
+      WARM_GENS="$(ts_field warm_batch generations)"
+      WARM_RATE="$(ts_field warm_batch rate_per_s)"
+      STAMPEDE_GENS="$(ts_field stampede generations)"
+      STAMPEDE_SECS="$(ts_field stampede seconds)"
+      [ -n "$COLD_VARIANTS" ] && [ -n "$COLD_SECS" ] && [ -n "$WARM_RATE" ] &&
+        [ -n "$STAMPEDE_GENS" ] && [ -n "$STAMPEDE_SECS" ] ||
+        { echo "perf-smoke: missing phase records in $TS_JSON" >&2; exit 1; }
+      echo "perf-smoke: table service cold=$COLD_SECS s/$COLD_VARIANTS variants," \
+           "warm rate=$WARM_RATE /s, stampede=$STAMPEDE_SECS s ($STAMPEDE_GENS gen)"
+      [ "$COLD_GENS" = "$COLD_VARIANTS" ] ||
+        { echo "perf-smoke: cold phase ran $COLD_GENS generations for $COLD_VARIANTS variants" \
+               >&2; exit 1; }
+      [ "$WARM_GENS" = "0" ] ||
+        { echo "perf-smoke: warm batch replay triggered $WARM_GENS generations" >&2; exit 1; }
+      awk -v r="$WARM_RATE" -v v="$COLD_VARIANTS" -v s="$COLD_SECS" \
+        'BEGIN { exit (r >= 100 * v / s) ? 0 : 1 }' ||
+        { echo "perf-smoke: warm-batch rate $WARM_RATE not >= 100x cold rate" >&2; exit 1; }
+      [ "$STAMPEDE_GENS" = "1" ] ||
+        { echo "perf-smoke: stampede ran $STAMPEDE_GENS generations, expected 1" >&2; exit 1; }
+      awk -v t="$STAMPEDE_SECS" -v v="$COLD_VARIANTS" -v s="$COLD_SECS" \
+        'BEGIN { exit (t <= 3 * s / v) ? 0 : 1 }' ||
+        { echo "perf-smoke: coalesced stampede ($STAMPEDE_SECS s) not within 3x one cold" \
+               "generation ($COLD_SECS s / $COLD_VARIANTS)" >&2; exit 1; }
       ;;
     analyze)
       banner "static analysis: repo lint + layering/determinism/contract passes"
