@@ -66,6 +66,7 @@ size_t bucket_of(double value) {
 
 const char* kCounterNames[kNumCounters] = {
     "gummel_iterations", "negf_energy_points",  "rgf_solves",
+    "rgf_batch_solves",
     "negf_energy_points_saved",
     "poisson_newton_iterations", "pcg_iterations", "pcg_precond_setups",
     "mg_vcycles",
@@ -82,6 +83,7 @@ const char* kHistogramNames[kNumHistograms] = {
     "pcg_iterations_ssor",         "pcg_iterations_ic0",
     "pcg_iterations_mg",
     "energy_points_per_transport", "adaptive_refinement_depth",
+    "rgf_batch_width",
 };
 
 }  // namespace

@@ -26,6 +26,7 @@ enum class Counter {
   kGummelIterations = 0,      ///< device: self-consistent outer iterations
   kNegfEnergyPoints,          ///< negf: energy grid points laid out
   kRgfSolves,                 ///< negf: individual RGF solves (per energy, per mode)
+  kRgfBatchSolves,            ///< negf: batched RGF kernel invocations (SoA energy batches)
   kNegfEnergyPointsSaved,     ///< negf: adaptive-grid evaluations avoided vs the uniform grid
   kPoissonNewtonIterations,   ///< poisson: damped-Newton iterations
   kPcgIterations,             ///< linalg: PCG iterations
@@ -60,6 +61,7 @@ enum class Histogram {
   kPcgIterationsMg,              ///< linalg: PCG iterations per multigrid-preconditioned solve
   kEnergyPointsPerTransport,     ///< negf: energy grid size per transport solve
   kAdaptiveRefinementDepth,      ///< negf: panel depth at retirement in adaptive integration
+  kRgfBatchWidth,                ///< negf: energies per batched RGF kernel call
   kCount
 };
 constexpr size_t kNumHistograms = static_cast<size_t>(Histogram::kCount);

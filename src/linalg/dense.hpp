@@ -154,6 +154,17 @@ void adjoint_into(Matrix<T>& dst, const Matrix<T>& src) {
 using CMatrix = Matrix<cplx>;
 using DMatrix = Matrix<double>;
 
+/// Non-template CMatrix overloads (preferred by overload resolution over
+/// the templates above): cache-blocked kernels with the complex arithmetic
+/// expanded to branch-free split-component form, so the inner loops
+/// vectorize instead of calling the NaN-recovery complex multiply. For
+/// finite operands they are bit-identical to the templates — the same
+/// per-element accumulation order (ascending k, zero-row skip included) and
+/// the exact product formula the compiler emits for finite std::complex
+/// multiplies. Defined in dense.cpp.
+void multiply_into(CMatrix& c, const CMatrix& a, const CMatrix& b);
+void adjoint_into(CMatrix& dst, const CMatrix& src);
+
 /// Frobenius norm.
 double frobenius_norm(const CMatrix& m);
 double frobenius_norm(const DMatrix& m);

@@ -15,6 +15,7 @@
 #include "common/trace.hpp"
 #include "gnr/hamiltonian.hpp"
 #include "negf/adaptive.hpp"
+#include "negf/batch_rgf.hpp"
 #include "negf/rgf.hpp"
 #include "negf/scalar_rgf.hpp"
 #include "negf/selfenergy.hpp"
@@ -132,6 +133,10 @@ TransportSolution solve_mode_space(const gnr::ModeSet& modes,
   }
 
   const NegfGridKind kind = negf_grid_from_env();
+  // Batched SoA kernel vs legacy per-energy solves: read once per solve,
+  // shared by every chunk. Either branch is bit-identical (the batch
+  // kernel's contract), so this only selects throughput.
+  const bool batch = rgf_batch_enabled();
   const EnergyWindow win = resolve_window(opts, u_min, u_max, band_top);
   const EnergyGrid grid = make_energy_grid(win.lo, win.hi, opts.energy_step_eV);
 
@@ -195,33 +200,73 @@ TransportSolution solve_mode_space(const gnr::ModeSet& modes,
             ModePartial part;
             part.col_n.assign(ncol, 0.0);
             part.col_p.assign(ncol, 0.0);
-            // One workspace per thread, reused across every energy, mode,
-            // and solve: the RGF inner loop is allocation-free once warm.
-            thread_local ScalarRgfWorkspace ws;
-            thread_local ScalarRgfResult r;
             const size_t e_begin = std::max(begin, i_lo);
             const size_t e_end = std::min(end, i_hi);
-            for (size_t ie = e_begin; ie < e_end; ++ie) {
-              const double e = grid.points[ie];
-              const double w = grid.weights[ie];
-              scalar_rgf_solve(chain, e, opts.eta_eV, ws, r);
-              sol.transmission[ie] += m.degeneracy * r.transmission;
-              const double f1 = constants::fermi(e - opts.mu_source_eV, opts.kT_eV);
-              const double f2 = constants::fermi(e - opts.mu_drain_eV, opts.kT_eV);
-              part.current += w * m.degeneracy * r.transmission * (f1 - f2);
-              part.current_reverse += w * m.degeneracy * r.transmission_reverse * (f1 - f2);
-              for (size_t c = 0; c < ncol; ++c) {
-                const BipolarDensity d = bipolar_density(r.spectral_left[c],
-                                                         r.spectral_right[c], e, u_mode[p][c],
-                                                         f1, f2);
-                part.col_n[c] += w * m.degeneracy * d.electrons;
-                part.col_p[c] += w * m.degeneracy * d.holes;
+            const size_t nsolve = e_end > e_begin ? e_end - e_begin : 0;
+            if (nsolve > 0) {
+              // Fermi factors hoisted out of the accumulation loop: the
+              // same per-energy constants::fermi calls, precomputed once
+              // per chunk and shared by the batched and legacy branches.
+              thread_local std::vector<double> f1v, f2v;
+              f1v.resize(nsolve);
+              f2v.resize(nsolve);
+              fermi_factors(grid.points.data() + e_begin, nsolve, opts.mu_source_eV, opts.kT_eV,
+                            f1v.data());
+              fermi_factors(grid.points.data() + e_begin, nsolve, opts.mu_drain_eV, opts.kT_eV,
+                            f2v.data());
+              if (batch) {
+                // One SoA kernel call for the whole chunk; lane k holds the
+                // bit-identical result of the per-energy solve at e_begin+k.
+                thread_local ScalarRgfBatchWorkspace bws;
+                thread_local ScalarRgfBatchResult br;
+                scalar_rgf_solve_batch(chain, grid.points.data() + e_begin, nsolve, opts.eta_eV,
+                                       bws, br);
+                for (size_t k = 0; k < nsolve; ++k) {
+                  const size_t ie = e_begin + k;
+                  const double e = grid.points[ie];
+                  const double w = grid.weights[ie];
+                  sol.transmission[ie] += m.degeneracy * br.transmission[k];
+                  const double f1 = f1v[k];
+                  const double f2 = f2v[k];
+                  part.current += w * m.degeneracy * br.transmission[k] * (f1 - f2);
+                  part.current_reverse +=
+                      w * m.degeneracy * br.transmission_reverse[k] * (f1 - f2);
+                  for (size_t c = 0; c < ncol; ++c) {
+                    const BipolarDensity d =
+                        bipolar_density(br.spectral_left_row(c)[k], br.spectral_right_row(c)[k],
+                                        e, u_mode[p][c], f1, f2);
+                    part.col_n[c] += w * m.degeneracy * d.electrons;
+                    part.col_p[c] += w * m.degeneracy * d.holes;
+                  }
+                }
+              } else {
+                // One workspace per thread, reused across every energy,
+                // mode, and solve: the RGF inner loop is allocation-free
+                // once warm.
+                thread_local ScalarRgfWorkspace ws;
+                thread_local ScalarRgfResult r;
+                for (size_t ie = e_begin; ie < e_end; ++ie) {
+                  const double e = grid.points[ie];
+                  const double w = grid.weights[ie];
+                  scalar_rgf_solve(chain, e, opts.eta_eV, ws, r);
+                  sol.transmission[ie] += m.degeneracy * r.transmission;
+                  const double f1 = f1v[ie - e_begin];
+                  const double f2 = f2v[ie - e_begin];
+                  part.current += w * m.degeneracy * r.transmission * (f1 - f2);
+                  part.current_reverse += w * m.degeneracy * r.transmission_reverse * (f1 - f2);
+                  for (size_t c = 0; c < ncol; ++c) {
+                    const BipolarDensity d = bipolar_density(r.spectral_left[c],
+                                                             r.spectral_right[c], e,
+                                                             u_mode[p][c], f1, f2);
+                    part.col_n[c] += w * m.degeneracy * d.electrons;
+                    part.col_p[c] += w * m.degeneracy * d.holes;
+                  }
+                }
               }
             }
             // One counter add per chunk, not per energy: metrics stay off
             // the innermost loop.
-            metrics::add(metrics::Counter::kRgfSolves,
-                         static_cast<uint64_t>(e_end > e_begin ? e_end - e_begin : 0));
+            metrics::add(metrics::Counter::kRgfSolves, static_cast<uint64_t>(nsolve));
             return part;
           },
           [](ModePartial& acc, ModePartial&& part) {
@@ -347,27 +392,65 @@ TransportSolution solve_mode_space(const gnr::ModeSet& modes,
                                std::vector<std::vector<double>>& values) {
       par::parallel_for_chunks(
           energies.size(), kEnergyGrain, [&](size_t, size_t begin, size_t end) {
-            thread_local ScalarRgfWorkspace ws;
-            thread_local ScalarRgfResult r;
-            for (size_t k = begin; k < end; ++k) {
-              const double e = energies[k];
-              scalar_rgf_solve(chain, e, opts.eta_eV, ws, r);
-              const double f1 = constants::fermi(e - opts.mu_source_eV, opts.kT_eV);
-              const double f2 = constants::fermi(e - opts.mu_drain_eV, opts.kT_eV);
-              std::vector<double>& v = values[k];
-              v.assign(ncomp, 0.0);
-              v[0] = m.degeneracy * r.transmission;
-              v[1] = m.degeneracy * r.transmission * (f1 - f2);
-              v[2] = m.degeneracy * r.transmission_reverse * (f1 - f2);
-              for (size_t c = 0; c < ncol; ++c) {
-                const double a_l = r.spectral_left[c];
-                const double a_r = r.spectral_right[c];
-                v[i_nraw + c] = m.degeneracy * 2.0 * (a_l * f1 + a_r * f2) / kTwoPi;
-                v[i_praw + c] =
-                    m.degeneracy * 2.0 * (a_l * (1.0 - f1) + a_r * (1.0 - f2)) / kTwoPi;
+            const size_t nsolve = end - begin;
+            if (nsolve == 0) return;
+            // Hoisted Fermi factors, shared by both branches (see the
+            // uniform path).
+            thread_local std::vector<double> f1v, f2v;
+            f1v.resize(nsolve);
+            f2v.resize(nsolve);
+            fermi_factors(energies.data() + begin, nsolve, opts.mu_source_eV, opts.kT_eV,
+                          f1v.data());
+            fermi_factors(energies.data() + begin, nsolve, opts.mu_drain_eV, opts.kT_eV,
+                          f2v.data());
+            if (batch) {
+              // The refinement round's stencil evaluations for this chunk
+              // in one SoA kernel call; results scatter back into their
+              // own slots in the existing ascending order, so the panel
+              // bookkeeping (and thread-count determinism) is untouched.
+              thread_local ScalarRgfBatchWorkspace bws;
+              thread_local ScalarRgfBatchResult br;
+              scalar_rgf_solve_batch(chain, energies.data() + begin, nsolve, opts.eta_eV, bws,
+                                     br);
+              for (size_t k = 0; k < nsolve; ++k) {
+                const double f1 = f1v[k];
+                const double f2 = f2v[k];
+                std::vector<double>& v = values[begin + k];
+                v.assign(ncomp, 0.0);
+                v[0] = m.degeneracy * br.transmission[k];
+                v[1] = m.degeneracy * br.transmission[k] * (f1 - f2);
+                v[2] = m.degeneracy * br.transmission_reverse[k] * (f1 - f2);
+                for (size_t c = 0; c < ncol; ++c) {
+                  const double a_l = br.spectral_left_row(c)[k];
+                  const double a_r = br.spectral_right_row(c)[k];
+                  v[i_nraw + c] = m.degeneracy * 2.0 * (a_l * f1 + a_r * f2) / kTwoPi;
+                  v[i_praw + c] =
+                      m.degeneracy * 2.0 * (a_l * (1.0 - f1) + a_r * (1.0 - f2)) / kTwoPi;
+                }
+              }
+            } else {
+              thread_local ScalarRgfWorkspace ws;
+              thread_local ScalarRgfResult r;
+              for (size_t k = begin; k < end; ++k) {
+                const double e = energies[k];
+                scalar_rgf_solve(chain, e, opts.eta_eV, ws, r);
+                const double f1 = f1v[k - begin];
+                const double f2 = f2v[k - begin];
+                std::vector<double>& v = values[k];
+                v.assign(ncomp, 0.0);
+                v[0] = m.degeneracy * r.transmission;
+                v[1] = m.degeneracy * r.transmission * (f1 - f2);
+                v[2] = m.degeneracy * r.transmission_reverse * (f1 - f2);
+                for (size_t c = 0; c < ncol; ++c) {
+                  const double a_l = r.spectral_left[c];
+                  const double a_r = r.spectral_right[c];
+                  v[i_nraw + c] = m.degeneracy * 2.0 * (a_l * f1 + a_r * f2) / kTwoPi;
+                  v[i_praw + c] =
+                      m.degeneracy * 2.0 * (a_l * (1.0 - f1) + a_r * (1.0 - f2)) / kTwoPi;
+                }
               }
             }
-            metrics::add(metrics::Counter::kRgfSolves, static_cast<uint64_t>(end - begin));
+            metrics::add(metrics::Counter::kRgfSolves, static_cast<uint64_t>(nsolve));
           });
     };
     // Panel-aligned bipolar split: a retired panel entirely above column
@@ -471,6 +554,7 @@ TransportSolution solve_real_space(const gnr::Lattice& lat,
 
   const linalg::CMatrix sig_l = wide_band_self_energy(h.diag.front().rows(), opts.gamma_contact_eV);
   const linalg::CMatrix sig_r = wide_band_self_energy(h.diag.back().rows(), opts.gamma_contact_eV);
+  const bool batch = rgf_batch_enabled();
 
   TransportSolution sol;
   sol.energies_eV = grid.points;
@@ -497,31 +581,55 @@ TransportSolution solve_real_space(const gnr::Lattice& lat,
         RealPartial part;
         part.n_atom.assign(natoms, 0.0);
         part.p_atom.assign(natoms, 0.0);
-        // Dense block buffers and the LU live in the per-thread workspace,
-        // so the per-energy block solves stop allocating once warm.
-        thread_local RgfWorkspace ws;
-        thread_local RgfResult r;
-        for (size_t ie = begin; ie < end; ++ie) {
-          const double e = grid.points[ie];
-          const double w = grid.weights[ie];
-          rgf_solve(h, e, opts.eta_eV, sig_l, sig_r, ws, r);
-          sol.transmission[ie] = r.transmission;
-          const double f1 = constants::fermi(e - opts.mu_source_eV, opts.kT_eV);
-          const double f2 = constants::fermi(e - opts.mu_drain_eV, opts.kT_eV);
-          part.current += w * r.transmission * (f1 - f2);
-          size_t orb = 0;
-          for (size_t b = 0; b < nb; ++b) {
-            for (const size_t atom : slices[b]) {
-              const BipolarDensity d = bipolar_density(r.spectral_left[orb],
-                                                       r.spectral_right[orb], e,
-                                                       onsite_eV[atom], f1, f2);
-              part.n_atom[atom] += w * d.electrons;
-              part.p_atom[atom] += w * d.holes;
-              ++orb;
+        const size_t nsolve = end - begin;
+        if (nsolve > 0) {
+          // Fermi factors hoisted per chunk, shared by both branches (see
+          // solve_mode_space).
+          thread_local std::vector<double> f1v, f2v;
+          f1v.resize(nsolve);
+          f2v.resize(nsolve);
+          fermi_factors(grid.points.data() + begin, nsolve, opts.mu_source_eV, opts.kT_eV,
+                        f1v.data());
+          fermi_factors(grid.points.data() + begin, nsolve, opts.mu_drain_eV, opts.kT_eV,
+                        f2v.data());
+          // One accumulation pass over per-energy results, fed either by
+          // the batched kernel (one call per chunk, energy-independent
+          // block work hoisted) or by the legacy per-energy solves.
+          thread_local RgfBatchWorkspace bws;
+          thread_local std::vector<RgfResult> rs;
+          thread_local RgfWorkspace ws;
+          if (batch) {
+            rgf_solve_batch(h, grid.points.data() + begin, nsolve, opts.eta_eV, sig_l, sig_r,
+                            bws, rs);
+          } else {
+            rs.resize(nsolve);
+            for (size_t k = 0; k < nsolve; ++k) {
+              rgf_solve(h, grid.points[begin + k], opts.eta_eV, sig_l, sig_r, ws, rs[k]);
+            }
+          }
+          for (size_t k = 0; k < nsolve; ++k) {
+            const size_t ie = begin + k;
+            const double e = grid.points[ie];
+            const double w = grid.weights[ie];
+            const RgfResult& r = rs[k];
+            sol.transmission[ie] = r.transmission;
+            const double f1 = f1v[k];
+            const double f2 = f2v[k];
+            part.current += w * r.transmission * (f1 - f2);
+            size_t orb = 0;
+            for (size_t b = 0; b < nb; ++b) {
+              for (const size_t atom : slices[b]) {
+                const BipolarDensity d = bipolar_density(r.spectral_left[orb],
+                                                         r.spectral_right[orb], e,
+                                                         onsite_eV[atom], f1, f2);
+                part.n_atom[atom] += w * d.electrons;
+                part.p_atom[atom] += w * d.holes;
+                ++orb;
+              }
             }
           }
         }
-        metrics::add(metrics::Counter::kRgfSolves, static_cast<uint64_t>(end - begin));
+        metrics::add(metrics::Counter::kRgfSolves, static_cast<uint64_t>(nsolve));
         return part;
       },
       [](RealPartial& acc, RealPartial&& part) {

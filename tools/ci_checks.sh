@@ -245,6 +245,46 @@ for stage in "${STAGES[@]}"; do
         'BEGIN { exit (t <= 3 * s / v) ? 0 : 1 }' ||
         { echo "perf-smoke: coalesced stampede ($STAMPEDE_SECS s) not within 3x one cold" \
                "generation ($COLD_SECS s / $COLD_VARIANTS)" >&2; exit 1; }
+
+      # Batched-RGF smoke: the SoA energy-batch kernel must hold >= 1.5x
+      # the scalar solve rate with a bit-identical transmission stream,
+      # and the batched transport sweep must reproduce the legacy path's
+      # current hash — at every thread count.
+      cmake --build "$DIR" -j "$JOBS" --target bench_rgf_batch
+      for t in 1 4; do
+        (cd "$DIR" && rm -rf "bench_rgf_t$t" && mkdir -p "bench_rgf_t$t" &&
+          cd "bench_rgf_t$t" && GNRFET_THREADS=$t GNRFET_BENCH_RGF_NCOL=32 \
+          GNRFET_BENCH_RGF_NVD=3 GNRFET_BENCH_RGF_NE=304 GNRFET_BENCH_RGF_REPEATS=2 \
+          ../bench/bench_rgf_batch >/dev/null)
+      done
+      RGF_JSON="$DIR/bench_rgf_t1/bench_out/BENCH_rgf.json"
+      test -s "$RGF_JSON" || { echo "perf-smoke: no BENCH_rgf.json written" >&2; exit 1; }
+      rgf_khash() {  # kernel transmission hash: $1 = threads, $2 = path
+        sed -n "s/.*\"kind\":\"kernel\",\"path\":\"$2\".*\"transmission_hash\":\"\([0-9a-f]*\)\".*/\1/p" \
+          "$DIR/bench_rgf_t$1/bench_out/BENCH_rgf.json"
+      }
+      rgf_thash() {  # transport current hash: $1 = threads, $2 = knob
+        sed -n "s/.*\"kind\":\"transport\",\"knob\":\"$2\".*\"current_hash\":\"\([0-9a-f]*\)\".*/\1/p" \
+          "$DIR/bench_rgf_t$1/bench_out/BENCH_rgf.json"
+      }
+      RGF_SPEED="$(sed -n 's/.*\"kind\":\"kernel\",\"path\":\"batch\".*\"speedup\":\([0-9.e+-]*\).*/\1/p' \
+        "$RGF_JSON")"
+      KH_S="$(rgf_khash 1 scalar)"; KH_B="$(rgf_khash 1 batch)"
+      TH_OFF="$(rgf_thash 1 off)"; TH_ON="$(rgf_thash 1 on)"; TH_ON4="$(rgf_thash 4 on)"
+      [ -n "$RGF_SPEED" ] && [ -n "$KH_S" ] && [ -n "$KH_B" ] && [ -n "$TH_OFF" ] &&
+        [ -n "$TH_ON" ] && [ -n "$TH_ON4" ] ||
+        { echo "perf-smoke: missing batched-RGF records in $RGF_JSON" >&2; exit 1; }
+      echo "perf-smoke: batched RGF ${RGF_SPEED}x scalar solve rate," \
+           "kernel hash $KH_B, transport hash $TH_ON"
+      [ "$KH_S" = "$KH_B" ] ||
+        { echo "perf-smoke: batched kernel not bit-identical ($KH_S vs $KH_B)" >&2; exit 1; }
+      [ "$TH_OFF" = "$TH_ON" ] ||
+        { echo "perf-smoke: batched transport current moved ($TH_OFF vs $TH_ON)" >&2; exit 1; }
+      [ "$TH_ON" = "$TH_ON4" ] ||
+        { echo "perf-smoke: batched transport not thread-deterministic" \
+               "($TH_ON vs $TH_ON4)" >&2; exit 1; }
+      awk -v s="$RGF_SPEED" 'BEGIN { exit (s >= 1.5) ? 0 : 1 }' ||
+        { echo "perf-smoke: batched RGF speedup $RGF_SPEED below 1.5x" >&2; exit 1; }
       ;;
     analyze)
       banner "static analysis: repo lint + layering/determinism/contract passes"
