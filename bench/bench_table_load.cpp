@@ -1,0 +1,289 @@
+/// Table-service load harness: the "millions of users" replay bench.
+///
+/// Phase "cold" generates one tiny real device table twice — in-process
+/// and sharded across GNRFET_BENCH_LOAD_WORKERS worker processes — and
+/// reports both wall times plus an FNV-1a hash of every table bit, the
+/// byte-identity pin CI compares across GNRFET_TABLE_SHARD / worker-count
+/// / GNRFET_THREADS configurations.
+///
+/// Phase "replay" drives GNRFET_BENCH_LOAD_QUERIES single lookups through
+/// a TableService with a synthetic (deterministic, compute-priced)
+/// generator: variant popularity is Zipf-skewed (rank weight 1/r^1.07, the
+/// classic web-cache shape) and a slice of queries carries Monte-Carlo
+/// style bias jitter, producing an endless cold tail that churns the LRU.
+/// Reports lookups/s, cold generations/s, p50/p99 query latency, and the
+/// coalesce / eviction / resident-bytes counters. QUERIES=0 skips the
+/// replay (CI's hash-matrix mode).
+///
+/// Emits bench_out/BENCH_tableload.json (one {phase,...} record per line)
+/// plus a CSV mirror. tools/ci_checks.sh perf-smoke asserts hash equality
+/// across the shard matrix, the >= 1.5x sharded speedup (multi-core hosts
+/// only), and warm rate >= 100x cold rate.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/parallel.hpp"
+#include "device/tablegen.hpp"
+#include "service/shardgen.hpp"
+#include "service/tableservice.hpp"
+
+using namespace gnrfet;
+
+namespace {
+
+/// FNV-1a over the full bit content of a table; the cross-configuration
+/// identity pin (doubles hashed via their IEEE representation).
+uint64_t fnv1a_table(const device::DeviceTable& t) {
+  uint64_t h = 1469598103934665603ull;
+  const auto mix_bytes = [&h](const void* data, size_t n) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  };
+  const auto mix_vec = [&](const std::vector<double>& v) {
+    mix_bytes(v.data(), v.size() * sizeof(double));
+  };
+  mix_vec(t.vg);
+  mix_vec(t.vd);
+  mix_vec(t.current_A);
+  mix_vec(t.charge_C);
+  mix_bytes(&t.band_gap_eV, sizeof t.band_gap_eV);
+  return h;
+}
+
+std::string hex64(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+/// Tiny real device (the test-suite geometry): full self-consistent
+/// NEGF-Poisson generation, seconds per table.
+service::TableRequest tiny_request(int n_index) {
+  service::TableRequest req;
+  req.spec.n_index = n_index;
+  req.spec.channel_length_nm = 6.0;
+  req.spec.grid_step_nm = 0.35;
+  req.spec.lateral_margin_nm = 2.0;
+  req.spec.num_modes = 2;
+  req.opts.vg_points = 2;
+  req.opts.vd_points = 2;
+  req.opts.vg_max = 0.5;
+  req.opts.vd_max = 0.5;
+  req.opts.solve.energy_step_eV = 5e-3;
+  req.opts.solve.gummel_tolerance_V = 3e-3;
+  req.opts.use_cache = false;  // measure generation, not the disk cache
+  return req;
+}
+
+/// Deterministic synthetic generator with a real compute price per table
+/// (~10^5 transcendental evaluations): expensive enough that a cold miss
+/// is unmistakably slower than a warm lookup, cheap enough to regenerate
+/// thousands of times in the replay.
+device::DeviceTable synth_generate(const device::DeviceSpec& spec,
+                                   const device::TableGenOptions& opts) {
+  device::DeviceTable t;
+  const size_t nvg = opts.vg_points, nvd = opts.vd_points;
+  t.vg.resize(nvg);
+  t.vd.resize(nvd);
+  for (size_t i = 0; i < nvg; ++i) {
+    t.vg[i] = opts.vg_min + (opts.vg_max - opts.vg_min) * double(i) / double(nvg - 1);
+  }
+  for (size_t i = 0; i < nvd; ++i) {
+    t.vd[i] = opts.vd_min + (opts.vd_max - opts.vd_min) * double(i) / double(nvd - 1);
+  }
+  t.current_A.resize(nvg * nvd);
+  t.charge_C.resize(nvg * nvd);
+  t.band_gap_eV = 0.1 + 0.01 * spec.n_index;
+  for (size_t ig = 0; ig < nvg; ++ig) {
+    for (size_t id = 0; id < nvd; ++id) {
+      double acc = double(spec.n_index) + t.vg[ig] * 3.0 + t.vd[id];
+      for (int k = 0; k < 96; ++k) acc = std::sin(acc) + 1.0 + 1e-3 * k;
+      t.current_A[ig * nvd + id] = acc * 1e-6;
+      t.charge_C[ig * nvd + id] = -acc * 1e-18;
+    }
+  }
+  return t;
+}
+
+/// Replay query: variant picked from a Zipf CDF, with every 211th query
+/// carrying a fresh MC-style vg_max jitter (a key never seen before — the
+/// cold tail).
+service::TableRequest synth_request(int variant, double vg_max_jitter) {
+  service::TableRequest req;
+  req.spec.n_index = variant;
+  req.opts.vg_points = 32;
+  req.opts.vd_points = 32;
+  req.opts.vg_max = 0.75 + vg_max_jitter;
+  req.opts.use_cache = false;  // the synthetic study never touches disk
+  return req;
+}
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(p * double(sorted_us.size() - 1));
+  return sorted_us[idx];
+}
+
+}  // namespace
+
+int main() {
+  const int queries = bench::env_int("GNRFET_BENCH_LOAD_QUERIES", 1000000);
+  const int variants = bench::env_int("GNRFET_BENCH_LOAD_VARIANTS", 64);
+  const int workers = bench::env_int("GNRFET_BENCH_LOAD_WORKERS", 4);
+  const int lru_mb = bench::env_int("GNRFET_BENCH_LOAD_LRU_MB", 8);
+
+  bench::banner("Table-service load harness (sharded cold gen + Zipf replay)");
+  bench::output_path("table_load");  // ensures bench_out/ exists
+  std::ofstream json("bench_out/BENCH_tableload.json");
+  json.precision(17);
+  csv::Table table({"phase_id", "items", "seconds", "rate_per_s", "aux"});
+  table.set_meta("phase_id", "0 = cold_unsharded, 1 = cold_sharded, 2 = replay");
+
+  // ---- Phase "cold": sharded vs in-process generation of one real table.
+  const service::TableRequest cold_req = tiny_request(12);
+
+  bench::PhaseTimer unsharded_timer("table_load", "cold_unsharded");
+  const device::DeviceTable unsharded =
+      device::generate_device_table(cold_req.spec, cold_req.opts);
+  const double unsharded_s = unsharded_timer.stop();
+  const uint64_t unsharded_hash = fnv1a_table(unsharded);
+
+  service::ShardOptions shard_opts;
+  shard_opts.workers = workers;
+  service::ShardScheduler scheduler(shard_opts);
+  bench::PhaseTimer sharded_timer("table_load", "cold_sharded");
+  const device::DeviceTable sharded = scheduler.generate(cold_req.spec, cold_req.opts);
+  const double sharded_s = sharded_timer.stop();
+  const uint64_t sharded_hash = fnv1a_table(sharded);
+
+  const double speedup = sharded_s > 0.0 ? unsharded_s / sharded_s : 0.0;
+  const bool identical = unsharded_hash == sharded_hash;
+  std::printf("cold: unsharded %.3f s, sharded(%d workers) %.3f s, speedup %.2fx, "
+              "hashes %s (threads=%d)\n",
+              unsharded_s, workers, sharded_s, speedup, identical ? "identical" : "DIFFER",
+              par::thread_count());
+  json << "{\"phase\":\"cold\",\"workers\":" << workers << ",\"threads\":" << par::thread_count()
+       << ",\"unsharded_seconds\":" << unsharded_s << ",\"sharded_seconds\":" << sharded_s
+       << ",\"speedup\":" << speedup << ",\"unsharded_hash\":\"" << hex64(unsharded_hash)
+       << "\",\"sharded_hash\":\"" << hex64(sharded_hash)
+       << "\",\"identical\":" << (identical ? 1 : 0) << "}\n";
+  table.add_row({0.0, 1.0, unsharded_s, 1.0 / unsharded_s, double(par::thread_count())});
+  table.add_row({1.0, 1.0, sharded_s, 1.0 / sharded_s, double(workers)});
+  if (!identical) {
+    std::printf("FATAL: sharded table differs from unsharded table\n");
+    return 1;
+  }
+
+  // ---- Phase "replay": Zipf-skewed warm/cold query mix.
+  if (queries > 0) {
+    service::TableService::Options opts;
+    opts.capacity_bytes = static_cast<size_t>(lru_mb) * 1024 * 1024;
+    opts.generator = &synth_generate;
+    service::TableService svc(opts);
+
+    // Zipf CDF over variant ranks (weight 1/r^1.07).
+    std::vector<double> cdf(static_cast<size_t>(variants));
+    double mass = 0.0;
+    for (int r = 0; r < variants; ++r) {
+      mass += 1.0 / std::pow(double(r + 1), 1.07);
+      cdf[static_cast<size_t>(r)] = mass;
+    }
+    for (double& c : cdf) c /= mass;
+
+    std::vector<double> warm_us, cold_us;
+    warm_us.reserve(static_cast<size_t>(queries));
+    uint64_t lcg = 0x9e3779b97f4a7c15ull;
+    uint64_t jitter_seq = 0;
+    uint64_t prev_misses = svc.stats().misses;
+
+    bench::PhaseTimer replay_timer("table_load", "replay");
+    for (int q = 0; q < queries; ++q) {
+      lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+      const double u = double(lcg >> 11) * (1.0 / 9007199254740992.0);
+      const int variant =
+          int(std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+      double jitter = 0.0;
+      if (q % 211 == 210) jitter = 1e-9 * double(++jitter_seq);  // fresh cold key
+      const service::TableRequest req = synth_request(variant, jitter);
+
+      const double t0 = now_us();
+      svc.query(req);
+      const double dt = now_us() - t0;
+
+      const uint64_t misses = svc.stats().misses;
+      if (misses != prev_misses) {
+        cold_us.push_back(dt);
+        prev_misses = misses;
+      } else {
+        warm_us.push_back(dt);
+      }
+    }
+    const double replay_s = replay_timer.stop();
+
+    const service::TableService::Stats st = svc.stats();
+    std::vector<double> all_us;
+    all_us.reserve(warm_us.size() + cold_us.size());
+    all_us.insert(all_us.end(), warm_us.begin(), warm_us.end());
+    all_us.insert(all_us.end(), cold_us.begin(), cold_us.end());
+    std::sort(all_us.begin(), all_us.end());
+    const double p50 = percentile(all_us, 0.50);
+    const double p99 = percentile(all_us, 0.99);
+
+    double warm_total_us = 0.0, cold_total_us = 0.0;
+    for (const double v : warm_us) warm_total_us += v;
+    for (const double v : cold_us) cold_total_us += v;
+    const double lookups_per_s = double(queries) / replay_s;
+    const double warm_rate =
+        warm_total_us > 0.0 ? double(warm_us.size()) / (warm_total_us * 1e-6) : 0.0;
+    const double cold_rate =
+        cold_total_us > 0.0 ? double(cold_us.size()) / (cold_total_us * 1e-6) : 0.0;
+    const bool lru_ok = st.peak_bytes <= svc.capacity_bytes();
+
+    std::printf("replay: %d queries (%zu warm, %zu cold) in %.3f s — %.0f lookups/s, "
+                "%.0f cold gen/s, p50 %.2f us, p99 %.2f us\n",
+                queries, warm_us.size(), cold_us.size(), replay_s, lookups_per_s, cold_rate,
+                p50, p99);
+    std::printf("replay pool: %llu coalesced, %llu evictions, %zu entries, %zu bytes resident "
+                "(peak %zu / capacity %zu: %s)\n",
+                static_cast<unsigned long long>(st.coalesced),
+                static_cast<unsigned long long>(st.evictions), st.entries, st.bytes,
+                st.peak_bytes, svc.capacity_bytes(), lru_ok ? "within budget" : "EXCEEDED");
+    json << "{\"phase\":\"replay\",\"queries\":" << queries << ",\"warm\":" << warm_us.size()
+         << ",\"cold\":" << cold_us.size() << ",\"seconds\":" << replay_s
+         << ",\"lookups_per_s\":" << lookups_per_s << ",\"warm_rate_per_s\":" << warm_rate
+         << ",\"cold_gen_per_s\":" << cold_rate << ",\"p50_us\":" << p50 << ",\"p99_us\":" << p99
+         << ",\"coalesced\":" << st.coalesced << ",\"evictions\":" << st.evictions
+         << ",\"entries\":" << st.entries << ",\"resident_bytes\":" << st.bytes
+         << ",\"peak_bytes\":" << st.peak_bytes << ",\"capacity_bytes\":" << svc.capacity_bytes()
+         << ",\"lru_ok\":" << (lru_ok ? 1 : 0) << "}\n";
+    table.add_row({2.0, double(queries), replay_s, lookups_per_s, p99});
+    if (!lru_ok) {
+      std::printf("FATAL: resident bytes exceeded the LRU budget\n");
+      return 1;
+    }
+  } else {
+    std::printf("replay: skipped (GNRFET_BENCH_LOAD_QUERIES=0)\n");
+  }
+
+  json.close();
+  std::printf("[json] bench_out/BENCH_tableload.json\n");
+  bench::save_csv(table, "table_load");
+  return 0;
+}

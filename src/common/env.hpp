@@ -1,5 +1,6 @@
 #pragma once
 
+#include <stdexcept>
 #include <string>
 
 /// Checked environment-variable access. Direct std::getenv returns a raw
@@ -16,7 +17,40 @@ std::string env_or(const char* name, const std::string& fallback);
 bool env_set(const char* name);
 
 /// Positive-integer value of `name`; `fallback` when unset, empty, or not
-/// parseable as an integer >= 1.
+/// parseable as an integer >= 1. Lenient by design (bench knobs); config
+/// that changes results should use env::get_positive_int instead so typos
+/// fail loudly.
 int env_int(const char* name, int fallback);
+
+/// Remove `name` from this process's environment (wraps unsetenv so code
+/// outside src/common/ never touches <cstdlib> environment calls). Worker
+/// children use this to drop inherited per-process settings — e.g. a
+/// GNRFET_TRACE path that belongs to the parent.
+void env_clear(const char* name);
+
+namespace env {
+
+/// A set-but-unusable environment variable. Thrown instead of silently
+/// falling back: a malformed GNRFET_THREADS=1O would otherwise run the
+/// whole job single-threaded with no hint why.
+class EnvError : public std::runtime_error {
+ public:
+  EnvError(std::string name, std::string value, const std::string& reason);
+
+  const std::string& name() const { return name_; }
+  const std::string& value() const { return value_; }
+
+ private:
+  std::string name_;
+  std::string value_;
+};
+
+/// Strictly parsed positive integer: unset or empty yields `fallback`;
+/// anything else must be all decimal digits, fit in int, and be >= 1, or
+/// an EnvError is thrown. Shared by GNRFET_THREADS, GNRFET_TABLE_LRU_MB,
+/// and GNRFET_TABLE_WORKERS so the three knobs reject garbage identically.
+int get_positive_int(const char* name, int fallback);
+
+}  // namespace env
 
 }  // namespace gnrfet::common

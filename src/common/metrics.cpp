@@ -73,6 +73,7 @@ const char* kCounterNames[kNumCounters] = {
     "table_cache_hits",  "table_cache_misses",
     "table_service_hits", "table_service_misses", "table_service_evictions",
     "table_service_coalesced",
+    "table_shard_dispatches", "table_shard_retries",
     "mna_factorizations",
     "transient_steps",
 };

@@ -38,6 +38,8 @@ enum class Counter {
   kTableServiceMisses,        ///< service: queries that went cold (disk load or generation)
   kTableServiceEvictions,     ///< service: LRU entries dropped under capacity pressure
   kTableServiceCoalesced,     ///< service: cold queries that joined another caller's generation
+  kTableShardDispatches,      ///< service: table-column shards sent to worker processes
+  kTableShardRetries,         ///< service: shards re-dispatched after a worker died mid-shard
   kMnaFactorizations,         ///< circuit: dense LU factorizations of the MNA Jacobian
   kTransientSteps,            ///< circuit: accepted transient time steps
   kCount

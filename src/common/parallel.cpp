@@ -174,7 +174,7 @@ class ThreadPool {
 
   static int resolve_env_threads() {
     const unsigned hw = std::thread::hardware_concurrency();
-    return common::env_int("GNRFET_THREADS", hw >= 1 ? static_cast<int>(hw) : 1);
+    return common::env::get_positive_int("GNRFET_THREADS", hw >= 1 ? static_cast<int>(hw) : 1);
   }
 
   void ensure_workers() GNRFET_REQUIRES(mu_) {
@@ -228,6 +228,8 @@ int thread_count() { return ThreadPool::instance().threads(); }
 void set_thread_count(int n) { ThreadPool::instance().set_threads(n); }
 
 bool in_parallel_region() { return t_in_worker; }
+
+void pin_inline() { t_in_worker = true; }
 
 size_t num_chunks(size_t n, size_t grain) {
   if (grain == 0) grain = 1;

@@ -1,0 +1,384 @@
+#include "common/subprocess.hpp"
+
+#include <dirent.h>
+#include <errno.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+
+namespace gnrfet::common::subprocess {
+
+namespace {
+
+constexpr uint32_t kFrameMagic = 0x474e5246;  // "GNRF"
+
+/// Upper bound on one frame's payload. A device-table shard request tops
+/// out in the tens of megabytes even for absurd grids; anything larger is
+/// a desynchronized stream, and failing here beats a bad_alloc later.
+constexpr uint64_t kMaxFramePayload = uint64_t{1} << 32;
+
+/// write(2)/send(2) the whole buffer, restarting on EINTR and short
+/// writes. MSG_NOSIGNAL keeps a dead peer an errno, not a SIGPIPE; the
+/// ENOTSOCK fallback covers plain pipes (tests exercise both).
+bool write_all(int fd, const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  while (n > 0) {
+    ssize_t wrote = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (wrote < 0 && errno == ENOTSOCK) wrote = ::write(fd, p, n);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) return false;
+      throw std::runtime_error(std::string("subprocess: frame write failed: ") +
+                               std::strerror(errno));
+    }
+    p += wrote;
+    n -= static_cast<size_t>(wrote);
+  }
+  return true;
+}
+
+/// Read exactly `n` bytes. Returns 1 on success, 0 on EOF before the first
+/// byte (clean close), -1 on EOF mid-buffer (torn frame).
+int read_all(int fd, void* data, size_t n) {
+  uint8_t* p = static_cast<uint8_t*>(data);
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET) return got == 0 ? 0 : -1;
+      throw std::runtime_error(std::string("subprocess: frame read failed: ") +
+                               std::strerror(errno));
+    }
+    if (r == 0) return got == 0 ? 0 : -1;
+    got += static_cast<size_t>(r);
+  }
+  return 1;
+}
+
+void close_quiet(int& fd) {
+  if (fd >= 0) ::close(fd);
+  fd = -1;
+}
+
+[[noreturn]] void child_exit(int status) {
+  // _Exit: the child is a copy of the parent's address space and must not
+  // run the parent's at-exit hooks (trace flush, static destructors) —
+  // doing so would, e.g., clobber the parent's GNRFET_TRACE file.
+  std::_Exit(status);
+}
+
+/// Close every inherited fd except stdio and the child's own channel pair.
+/// Without this sweep, worker B holds a copy of worker A's request-channel
+/// write end, so A never sees EOF after the parent's close_request() — the
+/// shutdown path deadlocks — and a crashed worker's channels are kept
+/// artificially alive by its siblings.
+void close_other_fds(int keep_a, int keep_b) {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (!dir) return;  // exotic environment; CLOEXEC still covers exec workers
+  const int dir_fd = ::dirfd(dir);
+  std::vector<int> doomed;
+  while (struct dirent* e = ::readdir(dir)) {
+    if (e->d_name[0] < '0' || e->d_name[0] > '9') continue;
+    const int fd = std::atoi(e->d_name);
+    if (fd > 2 && fd != keep_a && fd != keep_b && fd != dir_fd) doomed.push_back(fd);
+  }
+  ::closedir(dir);
+  for (const int fd : doomed) ::close(fd);
+}
+
+}  // namespace
+
+void FrameWriter::u32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void FrameWriter::u64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void FrameWriter::f64(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+void FrameWriter::vec_f64(const std::vector<double>& v) {
+  u64(v.size());
+  for (const double x : v) f64(x);
+}
+
+void FrameWriter::str(const std::string& s) {
+  u64(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void FrameReader::need(size_t n) const {
+  if (buf_.size() - pos_ < n) {
+    throw std::runtime_error("subprocess: frame underrun (corrupt or truncated payload)");
+  }
+}
+
+uint8_t FrameReader::u8() {
+  need(1);
+  return buf_[pos_++];
+}
+
+uint32_t FrameReader::u32() {
+  need(4);
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(buf_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+uint64_t FrameReader::u64() {
+  need(8);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(buf_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+double FrameReader::f64() {
+  const uint64_t bits = u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::vector<double> FrameReader::vec_f64() {
+  const uint64_t n = u64();
+  need(n);      // cheap pre-bound: keeps n*8 below overflow before the real check
+  need(n * 8);  // need() rejects before any allocation can overflow
+  std::vector<double> v(n);
+  for (uint64_t i = 0; i < n; ++i) v[i] = f64();
+  return v;
+}
+
+std::string FrameReader::str() {
+  const uint64_t n = u64();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+bool write_frame(int fd, const Frame& frame) {
+  uint8_t header[12];
+  const uint32_t magic = kFrameMagic;
+  const uint64_t len = frame.size();
+  std::memcpy(header, &magic, 4);
+  std::memcpy(header + 4, &len, 8);
+  if (!write_all(fd, header, sizeof header)) return false;
+  if (frame.empty()) return true;
+  return write_all(fd, frame.data(), frame.size());
+}
+
+bool read_frame(int fd, Frame& frame) {
+  uint8_t header[12];
+  const int got = read_all(fd, header, sizeof header);
+  if (got == 0) return false;  // clean EOF between frames
+  if (got < 0) throw std::runtime_error("subprocess: torn frame header (peer died mid-write)");
+  uint32_t magic = 0;
+  uint64_t len = 0;
+  std::memcpy(&magic, header, 4);
+  std::memcpy(&len, header + 4, 8);
+  if (magic != kFrameMagic) {
+    throw std::runtime_error("subprocess: bad frame magic (stream desynchronized)");
+  }
+  if (len > kMaxFramePayload) {
+    throw std::runtime_error("subprocess: frame length " + std::to_string(len) +
+                             " exceeds protocol bound (stream desynchronized)");
+  }
+  frame.assign(len, 0);
+  if (len > 0 && read_all(fd, frame.data(), frame.size()) != 1) {
+    throw std::runtime_error("subprocess: torn frame payload (peer died mid-write)");
+  }
+  return true;
+}
+
+Worker::Worker(Worker&& other) noexcept
+    : pid_(other.pid_),
+      to_child_(other.to_child_),
+      from_child_(other.from_child_),
+      reaped_(other.reaped_),
+      status_(other.status_) {
+  other.pid_ = -1;
+  other.to_child_ = -1;
+  other.from_child_ = -1;
+  other.reaped_ = false;
+}
+
+Worker& Worker::operator=(Worker&& other) noexcept {
+  if (this != &other) {
+    reset();
+    pid_ = other.pid_;
+    to_child_ = other.to_child_;
+    from_child_ = other.from_child_;
+    reaped_ = other.reaped_;
+    status_ = other.status_;
+    other.pid_ = -1;
+    other.to_child_ = -1;
+    other.from_child_ = -1;
+    other.reaped_ = false;
+  }
+  return *this;
+}
+
+Worker::~Worker() { reset(); }
+
+void Worker::reset() {
+  close_quiet(to_child_);
+  close_quiet(from_child_);
+  if (pid_ > 0 && !reaped_) {
+    // Closing the request channel above asks the worker loop to exit; the
+    // SIGKILL covers wedged or mid-computation children so the destructor
+    // can never hang on wait().
+    ::kill(pid_, SIGKILL);
+    int status = 0;
+    while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+    }
+  }
+  pid_ = -1;
+  reaped_ = false;
+  status_ = 0;
+}
+
+Worker Worker::spawn(const ChildMain& child_main) {
+  GNRFET_REQUIRE("common/subprocess", "worker-entry-callable", static_cast<bool>(child_main),
+                 "spawn() requires a non-empty child main");
+  int request[2];   // [0] child reads, [1] parent writes
+  int response[2];  // [0] parent reads, [1] child writes
+  // SOCK_CLOEXEC: an exec-mode worker must not inherit its siblings'
+  // channels across execv (its own pair survives via dup2 to stdio, which
+  // clears the flag on the copies).
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, request) != 0) {
+    throw std::runtime_error(std::string("subprocess: socketpair failed: ") +
+                             std::strerror(errno));
+  }
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, response) != 0) {
+    const int saved = errno;
+    ::close(request[0]);
+    ::close(request[1]);
+    throw std::runtime_error(std::string("subprocess: socketpair failed: ") +
+                             std::strerror(saved));
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    const int saved = errno;
+    ::close(request[0]);
+    ::close(request[1]);
+    ::close(response[0]);
+    ::close(response[1]);
+    throw std::runtime_error(std::string("subprocess: fork failed: ") + std::strerror(saved));
+  }
+  if (pid == 0) {
+    ::close(request[1]);
+    ::close(response[0]);
+    close_other_fds(request[0], response[1]);
+    int status = 1;
+    try {
+      status = child_main(request[0], response[1]);
+    } catch (...) {
+      status = 2;  // the protocol reports errors in-band; this is a backstop
+    }
+    child_exit(status);
+  }
+  ::close(request[0]);
+  ::close(response[1]);
+  Worker w;
+  w.pid_ = pid;
+  w.to_child_ = request[1];
+  w.from_child_ = response[0];
+  return w;
+}
+
+Worker Worker::spawn_exec(const std::vector<std::string>& argv) {
+  GNRFET_REQUIRE("common/subprocess", "worker-argv-nonempty", !argv.empty(),
+                 "spawn_exec() requires a program to execute");
+  return spawn([&argv](int request_fd, int response_fd) {
+    // Still inside fork(): wire the channels to stdin/stdout and exec.
+    if (::dup2(request_fd, STDIN_FILENO) < 0 || ::dup2(response_fd, STDOUT_FILENO) < 0) {
+      return 127;
+    }
+    ::close(request_fd);
+    ::close(response_fd);
+    std::vector<char*> args;
+    args.reserve(argv.size() + 1);
+    for (const std::string& a : argv) args.push_back(const_cast<char*>(a.c_str()));
+    args.push_back(nullptr);
+    ::execv(args[0], args.data());
+    return 127;  // exec failed; the parent sees immediate EOF
+  });
+}
+
+bool Worker::send(const Frame& frame) {
+  GNRFET_REQUIRE("common/subprocess", "worker-spawned", valid(), "send() on an empty Worker");
+  return write_frame(to_child_, frame);
+}
+
+bool Worker::recv(Frame& frame) {
+  GNRFET_REQUIRE("common/subprocess", "worker-spawned", valid(), "recv() on an empty Worker");
+  return read_frame(from_child_, frame);
+}
+
+bool Worker::running() {
+  if (pid_ <= 0 || reaped_) return false;
+  int status = 0;
+  const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+  if (r == pid_) {
+    reaped_ = true;
+    status_ = status;
+    return false;
+  }
+  return r == 0;
+}
+
+void Worker::kill_now() {
+  if (pid_ > 0 && !reaped_) ::kill(pid_, SIGKILL);
+}
+
+void Worker::close_request() { close_quiet(to_child_); }
+
+int Worker::wait() {
+  if (pid_ <= 0) return 0;
+  if (!reaped_) {
+    int status = 0;
+    while (::waitpid(pid_, &status, 0) < 0) {
+      if (errno != EINTR) return 0;
+    }
+    reaped_ = true;
+    status_ = status;
+  }
+  return status_;
+}
+
+WorkerPool::WorkerPool(int size, Spawner spawner) : spawner_(std::move(spawner)) {
+  GNRFET_REQUIRE("common/subprocess", "pool-size-positive", size >= 1,
+                 "worker pool needs at least one worker, got " + std::to_string(size));
+  GNRFET_REQUIRE("common/subprocess", "pool-spawner-callable", static_cast<bool>(spawner_),
+                 "worker pool needs a spawner");
+  workers_.resize(static_cast<size_t>(size));
+}
+
+void WorkerPool::ensure_full() {
+  for (Worker& w : workers_) {
+    if (!w.valid() || !w.running()) w = spawner_();
+  }
+}
+
+void WorkerPool::respawn(size_t i) {
+  GNRFET_REQUIRE("common/subprocess", "pool-slot-in-range", i < workers_.size(),
+                 "respawn(" + std::to_string(i) + ") on a pool of " +
+                     std::to_string(workers_.size()));
+  workers_[i] = spawner_();
+}
+
+}  // namespace gnrfet::common::subprocess

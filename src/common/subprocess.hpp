@@ -1,0 +1,172 @@
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+/// Fork/exec worker processes with a length-prefixed frame protocol.
+///
+/// The table-shard scheduler (service/shardgen) fans device-table columns
+/// out across worker *processes*: unlike the in-process thread pool, worker
+/// processes scale past the allocator and GIL-like lock contention of one
+/// address space, survive sanitizer/runtime differences, and can be
+/// remoted later. This layer owns the process plumbing only — spawning
+/// (either a fork-entry child running a callback, or fork+exec of an
+/// argv), a deterministic framed message channel, and crash detection —
+/// and knows nothing about what the frames mean.
+///
+/// Framing: every message is  [u32 magic][u64 payload length][payload].
+/// The fixed prefix makes request framing deterministic (the same logical
+/// request always serializes to the same bytes) and lets a reader detect a
+/// torn or desynchronized stream immediately instead of misparsing it.
+/// Channels are AF_UNIX socketpairs, so parent-side writes can use
+/// MSG_NOSIGNAL instead of ignoring SIGPIPE process-wide; a dead peer
+/// surfaces as a clean `false` from send/recv, never a signal.
+namespace gnrfet::common::subprocess {
+
+/// One protocol message payload (the length prefix is added on the wire).
+using Frame = std::vector<uint8_t>;
+
+/// Append-only binary serializer for frame payloads. Doubles travel as
+/// their IEEE-754 bit pattern (memcpy through uint64_t), so a value
+/// round-trips bit-exactly — the shard protocol's bit-identity guarantee
+/// rests on this.
+class FrameWriter {
+ public:
+  void u8(uint8_t v) { buf_.push_back(v); }
+  void u32(uint32_t v);
+  void u64(uint64_t v);
+  void i32(int32_t v) { u32(static_cast<uint32_t>(v)); }
+  void f64(double v);
+  void vec_f64(const std::vector<double>& v);
+  void str(const std::string& s);
+
+  const Frame& frame() const { return buf_; }
+  Frame take() { return std::move(buf_); }
+
+ private:
+  Frame buf_;
+};
+
+/// Bounds-checked reader over a received frame; throws std::runtime_error
+/// on underrun or an oversized embedded length (a desynchronized or
+/// corrupt peer must fail loudly, not read garbage).
+class FrameReader {
+ public:
+  explicit FrameReader(const Frame& frame) : buf_(frame) {}
+
+  uint8_t u8();
+  uint32_t u32();
+  uint64_t u64();
+  int32_t i32() { return static_cast<int32_t>(u32()); }
+  double f64();
+  std::vector<double> vec_f64();
+  std::string str();
+
+  bool done() const { return pos_ == buf_.size(); }
+
+ private:
+  void need(size_t n) const;
+  const Frame& buf_;
+  size_t pos_ = 0;
+};
+
+/// Write one framed message to `fd`, looping over partial writes and EINTR.
+/// Returns false when the peer is gone (EPIPE/ECONNRESET — a crashed or
+/// exited worker); throws on any other I/O error.
+bool write_frame(int fd, const Frame& frame);
+
+/// Read one framed message from `fd`. Returns false on clean EOF at a
+/// frame boundary (peer closed its end); throws on a torn frame, a bad
+/// magic prefix, or an oversized length (protocol desynchronization).
+bool read_frame(int fd, Frame& frame);
+
+/// One worker child process plus its two framed channels (requests down,
+/// responses up). Movable, never copyable; the destructor reaps the child
+/// (SIGKILL first when it is still alive).
+class Worker {
+ public:
+  /// Body of a fork-entry worker: reads frames from `request_fd`, writes
+  /// frames to `response_fd`, returns the child's exit status. Runs in the
+  /// child after fork() with no exec — the child must treat the inherited
+  /// address space as frozen (in particular, it must not touch the
+  /// parent's thread pool: see par::pin_inline()).
+  using ChildMain = std::function<int(int request_fd, int response_fd)>;
+
+  Worker() = default;
+  Worker(Worker&& other) noexcept;
+  Worker& operator=(Worker&& other) noexcept;
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+  ~Worker();
+
+  /// Fork a child that runs `child_main` and then _Exit()s (at-exit hooks
+  /// — e.g. the trace flush — belong to the parent, not the copy).
+  static Worker spawn(const ChildMain& child_main);
+
+  /// Fork + exec `argv` with the request channel on stdin and the response
+  /// channel on stdout (so `gen_tables --worker` — or /bin/cat in tests —
+  /// can serve the protocol with no fd passing).
+  static Worker spawn_exec(const std::vector<std::string>& argv);
+
+  /// Send one request; false when the worker died (caller requeues).
+  bool send(const Frame& frame);
+  /// Receive one response; false on EOF = worker exited or crashed.
+  bool recv(Frame& frame);
+
+  pid_t pid() const { return pid_; }
+  bool valid() const { return pid_ > 0; }
+  /// Response-channel fd, for poll(2)-based multiplexing across workers.
+  int response_fd() const { return from_child_; }
+
+  /// True while the child has not yet exited (waitpid WNOHANG probe).
+  bool running();
+  /// SIGKILL the child (crash-recovery tests; destructor cleanup).
+  void kill_now();
+  /// Close the request channel: the child's next read sees EOF, the
+  /// orderly-shutdown signal for a worker loop.
+  void close_request();
+  /// Blocking reap; returns the raw waitpid status (0 if already reaped).
+  int wait();
+
+ private:
+  void reset();
+
+  pid_t pid_ = -1;
+  int to_child_ = -1;    ///< parent writes requests here
+  int from_child_ = -1;  ///< parent reads responses here
+  bool reaped_ = false;
+  int status_ = 0;
+};
+
+/// A fixed-size set of workers with respawn-on-demand: the scheduler marks
+/// crashed workers dead mid-run and `ensure_full()` replaces them before
+/// the next run, so one crash never shrinks the pool permanently.
+class WorkerPool {
+ public:
+  using Spawner = std::function<Worker()>;
+
+  WorkerPool(int size, Spawner spawner);
+
+  /// Respawn every slot whose worker is missing or no longer running.
+  /// Only safe while no worker is mid-request: a busy-but-dead worker must
+  /// be handled via respawn(i) after its in-flight shard was requeued.
+  void ensure_full();
+
+  /// Replace slot `i` with a fresh worker (the old child, if any, is
+  /// killed and reaped by Worker's destructor).
+  void respawn(size_t i);
+
+  size_t size() const { return workers_.size(); }
+  Worker& at(size_t i) { return workers_[i]; }
+
+ private:
+  std::vector<Worker> workers_;
+  Spawner spawner_;
+};
+
+}  // namespace gnrfet::common::subprocess

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "common/annotations.hpp"
+#include "common/subprocess.hpp"
+#include "device/tablegen.hpp"
+
+/// Sharded cold-table generation across worker processes.
+///
+/// The in-process generator (device/tablegen) splits a table into a serial
+/// head row plus independent per-drain-column VG chains and fans the
+/// chains out across threads. The ShardScheduler reuses exactly that
+/// decomposition but ships each column to a worker *process*: phase 1 (the
+/// serial head row) runs in-process, then each column's head solution and
+/// TransportContext snapshot travel to a worker over the framed subprocess
+/// protocol, the worker runs device::solve_table_column, and the scheduler
+/// assembles the returned columns by id. Because the warm-start graph and
+/// the per-column code are identical to the in-process path — and every
+/// double crosses the pipe as its IEEE bit pattern — the assembled table
+/// is byte-identical to unsharded generation, for any worker count, thread
+/// count, or crash/retry history.
+///
+/// Worker death mid-shard is detected as EOF on the response channel; the
+/// column is requeued and recomputed (bit-identically) on a respawned or
+/// surviving worker. Concurrent schedulers stay single-flight through the
+/// existing table cache flock(2) in service/tableservice.
+namespace gnrfet::service {
+
+struct ShardOptions {
+  /// Worker-process count; 0 resolves GNRFET_TABLE_WORKERS (default 4).
+  int workers = 0;
+  /// When non-empty, workers are fork+exec'd with this argv and serve the
+  /// protocol on stdin/stdout (`gen_tables --worker`). When empty, workers
+  /// are fork-entry children of this process — cheaper, and the default.
+  std::vector<std::string> worker_argv;
+  /// Test hook, called after each successful shard dispatch with the
+  /// worker's pid and the column id (crash-injection tests SIGKILL the
+  /// worker here to exercise retry).
+  std::function<void(pid_t, size_t)> on_dispatch;
+};
+
+class ShardScheduler {
+ public:
+  explicit ShardScheduler(ShardOptions opts = {});
+  ~ShardScheduler();
+
+  ShardScheduler(const ShardScheduler&) = delete;
+  ShardScheduler& operator=(const ShardScheduler&) = delete;
+
+  /// Generate (or load from cache) the device table; drop-in replacement
+  /// for device::generate_device_table with cold generation sharded across
+  /// the worker pool. Concurrent calls serialize on an internal mutex —
+  /// the pool runs one table at a time.
+  device::DeviceTable generate(const device::DeviceSpec& spec,
+                               const device::TableGenOptions& opts);
+
+  int workers() const { return workers_; }
+
+ private:
+  device::DeviceTable generate_uncached(const device::DeviceSpec& spec,
+                                        const device::TableGenOptions& opts);
+
+  ShardOptions opts_;
+  int workers_ = 1;
+  common::Mutex mu_;  ///< serializes generate() bodies over the one pool
+  std::unique_ptr<common::subprocess::WorkerPool> pool_;
+};
+
+/// Worker-side protocol loop: read shard requests from `request_fd`,
+/// compute the column, write results (or in-band error frames) to
+/// `response_fd`; returns 0 on clean EOF. Pins the calling thread inline
+/// (par::pin_inline) before any compute — fork-entry children must never
+/// touch the parent's thread pool. `tools/gen_tables --worker` calls this
+/// with fds 0/1.
+int shard_worker_main(int request_fd, int response_fd);
+
+}  // namespace gnrfet::service

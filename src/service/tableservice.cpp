@@ -12,6 +12,7 @@
 #include "common/env.hpp"
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
+#include "service/shardgen.hpp"
 
 namespace gnrfet::service {
 
@@ -72,14 +73,32 @@ class FileLock {
 
 TableService::TableService() : TableService(Options{}) {}
 
-TableService::TableService(Options opts)
-    : generator_(opts.generator ? std::move(opts.generator)
-                                : Generator(&device::generate_device_table)),
-      cross_process_lock_(opts.cross_process_lock) {
+TableService::TableService(Options opts) : cross_process_lock_(opts.cross_process_lock) {
+  if (opts.generator) {
+    generator_ = std::move(opts.generator);
+  } else {
+    // GNRFET_TABLE_SHARD=on routes cold generation through a worker-process
+    // pool (service/shardgen); off — the default — is the unchanged
+    // in-process path. The two produce byte-identical tables, so the switch
+    // is purely a throughput knob.
+    const std::string shard = common::env_or("GNRFET_TABLE_SHARD", "off");
+    if (shard == "on") {
+      auto scheduler = std::make_shared<ShardScheduler>();
+      generator_ = [scheduler](const device::DeviceSpec& spec,
+                               const device::TableGenOptions& gen_opts) {
+        return scheduler->generate(spec, gen_opts);
+      };
+    } else if (shard == "off") {
+      generator_ = &device::generate_device_table;
+    } else {
+      throw common::env::EnvError("GNRFET_TABLE_SHARD", shard, "expected on or off");
+    }
+  }
   if (opts.capacity_bytes > 0) {
     capacity_bytes_ = opts.capacity_bytes;
   } else {
-    const int mb = common::env_int("GNRFET_TABLE_LRU_MB", static_cast<int>(kDefaultCapacityMb));
+    const int mb = common::env::get_positive_int("GNRFET_TABLE_LRU_MB",
+                                                 static_cast<int>(kDefaultCapacityMb));
     capacity_bytes_ = static_cast<size_t>(mb) * 1024 * 1024;
   }
 }
@@ -242,6 +261,9 @@ void TableService::insert_locked(const std::string& key,
     ++stats_.evictions;
     metrics::add(metrics::Counter::kTableServiceEvictions);
   }
+  // Resident high-water, after eviction: transient pre-eviction overshoot
+  // is not residency, so the gauge reflects what the pool actually held.
+  if (bytes_ > stats_.peak_bytes) stats_.peak_bytes = bytes_;
 }
 
 TableService::Stats TableService::stats() const {

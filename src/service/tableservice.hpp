@@ -72,6 +72,11 @@ class TableService {
     uint64_t coalesced = 0;  ///< cold queries that joined an in-flight generation
     size_t entries = 0;      ///< current pool size
     size_t bytes = 0;        ///< current pool payload bytes
+    /// High-water mark of resident pool bytes, sampled after each insert's
+    /// eviction pass: the gauge CI uses to assert the LRU stayed within
+    /// GNRFET_TABLE_LRU_MB under load (a single oversized entry is the
+    /// only sanctioned excursion).
+    size_t peak_bytes = 0;
   };
 
   TableService();  ///< default Options (a nested-class default argument trips gcc)

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <string>
 
 #include "common/cache.hpp"
 #include "common/constants.hpp"
 #include "common/csv.hpp"
+#include "common/env.hpp"
 #include "common/strings.hpp"
 
 namespace {
@@ -78,6 +81,80 @@ TEST(Cache, PathIsDeterministic) {
   const std::string p3 = cache::path_for("x", "payload2");
   EXPECT_EQ(p1, p2);
   EXPECT_NE(p1, p3);
+}
+
+/// Scoped set/unset of one environment variable, restoring on exit.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value)
+      : name_(name), was_set_(common::env_set(name)) {
+    if (was_set_) previous_ = common::env_or(name, "");
+    if (value) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~EnvGuard() {
+    if (was_set_) {
+      ::setenv(name_, previous_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool was_set_;
+  std::string previous_;
+};
+
+constexpr const char* kEnvName = "GNRFET_TEST_POSITIVE_INT";
+
+TEST(Env, GetPositiveIntParsesWellFormedValues) {
+  {
+    EnvGuard g(kEnvName, "4");
+    EXPECT_EQ(common::env::get_positive_int(kEnvName, 7), 4);
+  }
+  {
+    EnvGuard g(kEnvName, "2147483647");  // INT_MAX is still representable
+    EXPECT_EQ(common::env::get_positive_int(kEnvName, 7), 2147483647);
+  }
+}
+
+TEST(Env, GetPositiveIntFallsBackWhenUnsetOrEmpty) {
+  {
+    EnvGuard g(kEnvName, nullptr);
+    EXPECT_EQ(common::env::get_positive_int(kEnvName, 7), 7);
+  }
+  {
+    EnvGuard g(kEnvName, "");
+    EXPECT_EQ(common::env::get_positive_int(kEnvName, 7), 7);
+  }
+}
+
+TEST(Env, GetPositiveIntRejectsMalformedValues) {
+  // Unlike the lenient env_int (which silently falls back), a set-but-bad
+  // value is a typed error naming the variable and value.
+  for (const char* bad : {"0", "-3", "+3", "3 ", " 3", "3x", "abc", "1e3", "0x10",
+                          "2147483648", "99999999999999999999"}) {
+    EnvGuard g(kEnvName, bad);
+    try {
+      common::env::get_positive_int(kEnvName, 7);
+      FAIL() << "accepted malformed value '" << bad << "'";
+    } catch (const common::env::EnvError& e) {
+      EXPECT_EQ(e.name(), kEnvName);
+      EXPECT_EQ(e.value(), bad);
+      EXPECT_NE(std::string(e.what()).find(kEnvName), std::string::npos);
+    }
+  }
+}
+
+TEST(Env, ClearRemovesVariable) {
+  EnvGuard g(kEnvName, "42");
+  EXPECT_TRUE(common::env_set(kEnvName));
+  common::env_clear(kEnvName);
+  EXPECT_FALSE(common::env_set(kEnvName));
 }
 
 }  // namespace

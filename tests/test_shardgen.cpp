@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/metrics.hpp"
+#include "common/parallel.hpp"
+#include "device/tablegen.hpp"
+#include "service/shardgen.hpp"
+#include "service/tableservice.hpp"
+
+namespace {
+
+using namespace gnrfet;
+
+uint64_t counter_total(metrics::Counter c) {
+  return metrics::snapshot().counters[static_cast<size_t>(c)];
+}
+
+struct ThreadCountGuard {
+  explicit ThreadCountGuard(int n) : old_(par::thread_count()) { par::set_thread_count(n); }
+  ~ThreadCountGuard() { par::set_thread_count(old_); }
+  int old_;
+};
+
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value)
+      : name_(name), was_set_(common::env_set(name)) {
+    if (was_set_) previous_ = common::env_or(name, "");
+    if (value) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~EnvGuard() {
+    if (was_set_) {
+      ::setenv(name_, previous_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool was_set_;
+  std::string previous_;
+};
+
+/// Tiny real device: full NEGF-Poisson generation in well under a second.
+device::DeviceSpec tiny_spec() {
+  device::DeviceSpec spec;
+  spec.n_index = 12;
+  spec.channel_length_nm = 6.0;
+  spec.grid_step_nm = 0.35;
+  spec.lateral_margin_nm = 2.0;
+  spec.num_modes = 2;
+  return spec;
+}
+
+device::TableGenOptions tiny_opts(size_t vg_points = 2, size_t vd_points = 2) {
+  device::TableGenOptions opts;
+  opts.vg_points = vg_points;
+  opts.vd_points = vd_points;
+  opts.vg_max = 0.5;
+  opts.vd_max = 0.5;
+  opts.solve.energy_step_eV = 5e-3;
+  opts.solve.gummel_tolerance_V = 3e-3;
+  opts.use_cache = false;  // every call generates; no disk interplay
+  return opts;
+}
+
+void expect_tables_bit_identical(const device::DeviceTable& a, const device::DeviceTable& b) {
+  ASSERT_EQ(a.vg, b.vg);
+  ASSERT_EQ(a.vd, b.vd);
+  ASSERT_EQ(a.current_A, b.current_A);  // operator== on doubles: bit-level intent
+  ASSERT_EQ(a.charge_C, b.charge_C);
+  ASSERT_EQ(a.band_gap_eV, b.band_gap_eV);
+}
+
+TEST(TableShard, ShardedMatchesUnshardedBitForBit) {
+  const device::DeviceSpec spec = tiny_spec();
+  const device::TableGenOptions opts = tiny_opts();
+  const device::DeviceTable reference = device::generate_device_table(spec, opts);
+
+  service::ShardOptions shard;
+  shard.workers = 2;
+  service::ShardScheduler scheduler(shard);
+  const device::DeviceTable sharded = scheduler.generate(spec, opts);
+  expect_tables_bit_identical(reference, sharded);
+
+  // The pool is reused across generations: a second table through the same
+  // scheduler (different spec) must also match its unsharded twin.
+  device::DeviceSpec spec2 = tiny_spec();
+  spec2.n_index = 9;
+  expect_tables_bit_identical(device::generate_device_table(spec2, opts),
+                              scheduler.generate(spec2, opts));
+}
+
+TEST(TableShard, ExecWorkerModeMatchesInProcessBitForBit) {
+  // The gen_tables binary's `--worker` entry (dup2'd stdin/stdout, execv
+  // via /proc/self/exe) must serve shards bit-identically to the
+  // fork-entry path. Locate the tool relative to this test binary.
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  ASSERT_GT(n, 0);
+  buf[n] = '\0';
+  const std::filesystem::path gen_tables =
+      std::filesystem::path(buf).parent_path().parent_path() / "tools" / "gen_tables";
+  if (!std::filesystem::exists(gen_tables)) {
+    GTEST_SKIP() << "gen_tables not built at " << gen_tables;
+  }
+
+  const device::DeviceSpec spec = tiny_spec();
+  const device::TableGenOptions opts = tiny_opts();
+  service::ShardOptions shard;
+  shard.workers = 2;
+  shard.worker_argv = {gen_tables.string(), "--worker"};
+  service::ShardScheduler scheduler(shard);
+  expect_tables_bit_identical(device::generate_device_table(spec, opts),
+                              scheduler.generate(spec, opts));
+}
+
+TEST(TableShard, WorkerCrashMidShardRetriesBitIdentically) {
+  const device::DeviceSpec spec = tiny_spec();
+  const device::TableGenOptions opts = tiny_opts(3, 2);
+  const device::DeviceTable reference = device::generate_device_table(spec, opts);
+
+  // SIGKILL the first dispatched worker the instant its shard lands: the
+  // scheduler must requeue the column onto a surviving/respawned worker
+  // and still assemble the exact reference bits.
+  std::atomic<bool> killed{false};
+  service::ShardOptions shard;
+  shard.workers = 2;
+  shard.on_dispatch = [&killed](pid_t pid, size_t) {
+    bool expected = false;
+    if (killed.compare_exchange_strong(expected, true)) ::kill(pid, SIGKILL);
+  };
+  service::ShardScheduler scheduler(shard);
+
+  const uint64_t retries_before = counter_total(metrics::Counter::kTableShardRetries);
+  const device::DeviceTable sharded = scheduler.generate(spec, opts);
+  const uint64_t retries = counter_total(metrics::Counter::kTableShardRetries) - retries_before;
+
+  EXPECT_TRUE(killed.load());
+  EXPECT_GE(retries, 1u);
+  expect_tables_bit_identical(reference, sharded);
+}
+
+TEST(TableShard, WorkersEnvResolvesAndValidates) {
+  {
+    EnvGuard workers("GNRFET_TABLE_WORKERS", "3");
+    service::ShardScheduler scheduler;
+    EXPECT_EQ(scheduler.workers(), 3);
+  }
+  {
+    EnvGuard workers("GNRFET_TABLE_WORKERS", nullptr);
+    service::ShardScheduler scheduler;
+    EXPECT_EQ(scheduler.workers(), 4);  // documented default
+  }
+  {
+    EnvGuard workers("GNRFET_TABLE_WORKERS", "2cores");
+    EXPECT_THROW(service::ShardScheduler{}, common::env::EnvError);
+  }
+  {
+    // An explicit option wins over the environment.
+    EnvGuard workers("GNRFET_TABLE_WORKERS", "7");
+    service::ShardOptions opts;
+    opts.workers = 2;
+    service::ShardScheduler scheduler(opts);
+    EXPECT_EQ(scheduler.workers(), 2);
+  }
+}
+
+TEST(TableShard, TableServiceShardSwitchIsByteIdentical) {
+  const service::TableRequest req{tiny_spec(), tiny_opts()};
+
+  EnvGuard workers("GNRFET_TABLE_WORKERS", "2");
+  std::shared_ptr<const device::DeviceTable> off_table, on_table;
+  {
+    EnvGuard shard("GNRFET_TABLE_SHARD", "off");
+    service::TableService svc;
+    off_table = svc.query(req);
+  }
+  {
+    EnvGuard shard("GNRFET_TABLE_SHARD", "on");
+    service::TableService svc;
+    on_table = svc.query(req);
+  }
+  ASSERT_TRUE(off_table && on_table);
+  expect_tables_bit_identical(*off_table, *on_table);
+}
+
+TEST(TableShard, TableServiceRejectsMalformedShardSwitch) {
+  EnvGuard shard("GNRFET_TABLE_SHARD", "sometimes");
+  EXPECT_THROW(service::TableService{}, common::env::EnvError);
+}
+
+TEST(TableShardParallel, ConcurrentColdCallersCoalesceOntoOneShardedGeneration) {
+  // Four threads hitting the same cold key through a sharded service must
+  // coalesce onto a single worker-pool generation (single-flight), and
+  // every caller gets the shared entry.
+  ThreadCountGuard guard(4);
+  EnvGuard shard("GNRFET_TABLE_SHARD", "on");
+  EnvGuard workers("GNRFET_TABLE_WORKERS", "2");
+  service::TableService svc;
+  const service::TableRequest req{tiny_spec(), tiny_opts()};
+
+  std::vector<std::shared_ptr<const device::DeviceTable>> results(4);
+  par::parallel_for(4, [&](size_t i) { results[i] = svc.query(req); });
+
+  const service::TableService::Stats st = svc.stats();
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.coalesced + st.hits, 3u);
+  for (const auto& r : results) {
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r.get(), results[0].get());  // one shared immutable entry
+  }
+}
+
+}  // namespace

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/subprocess.hpp"
+
+namespace {
+
+using namespace gnrfet;
+namespace sp = common::subprocess;
+
+struct ThreadCountGuard {
+  explicit ThreadCountGuard(int n) : old_(par::thread_count()) { par::set_thread_count(n); }
+  ~ThreadCountGuard() { par::set_thread_count(old_); }
+  int old_;
+};
+
+TEST(Subprocess, FrameWriterReaderRoundTrip) {
+  sp::FrameWriter w;
+  w.u8(7);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  w.i32(-42);
+  w.f64(-1.5e-300);
+  w.vec_f64({0.0, 1.0 / 3.0, -2.5, 6.02214076e23});
+  w.str("hello, shard");
+
+  sp::FrameReader r(w.frame());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.f64(), -1.5e-300);  // bit-exact by construction
+  const std::vector<double> v = r.vec_f64();
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[1], 1.0 / 3.0);
+  EXPECT_EQ(r.str(), "hello, shard");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Subprocess, FrameReaderThrowsOnUnderrun) {
+  sp::FrameWriter w;
+  w.u32(5);
+  sp::FrameReader r(w.frame());
+  r.u32();
+  EXPECT_THROW(r.u64(), std::runtime_error);   // past the end
+  sp::FrameReader r2(w.frame());
+  EXPECT_THROW(r2.str(), std::runtime_error);  // length 5 but no bytes follow
+}
+
+TEST(Subprocess, FrameReaderRejectsHugeEmbeddedLength) {
+  // A corrupt count must fail the bounds check, not wrap the n*8 multiply
+  // into a passing one.
+  sp::FrameWriter w;
+  w.u64(uint64_t{1} << 61);
+  sp::FrameReader r(w.frame());
+  EXPECT_THROW(r.vec_f64(), std::runtime_error);
+}
+
+TEST(Subprocess, FrameIoOverPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  sp::FrameWriter w;
+  w.str("ping");
+  w.vec_f64({1.25, -2.5});
+  ASSERT_TRUE(sp::write_frame(fds[1], w.frame()));
+  sp::Frame got;
+  ASSERT_TRUE(sp::read_frame(fds[0], got));
+  sp::FrameReader r(got);
+  EXPECT_EQ(r.str(), "ping");
+  EXPECT_EQ(r.vec_f64(), (std::vector<double>{1.25, -2.5}));
+  ::close(fds[1]);
+  // Clean EOF at a frame boundary reads as false, not an exception.
+  EXPECT_FALSE(sp::read_frame(fds[0], got));
+  ::close(fds[0]);
+}
+
+TEST(Subprocess, ForkEntryEchoWorker) {
+  sp::Worker w = sp::Worker::spawn([](int request_fd, int response_fd) {
+    sp::Frame frame;
+    while (sp::read_frame(request_fd, frame)) {
+      if (!sp::write_frame(response_fd, frame)) return 1;
+    }
+    return 0;
+  });
+  ASSERT_TRUE(w.valid());
+  EXPECT_TRUE(w.running());
+  for (int i = 0; i < 3; ++i) {
+    sp::FrameWriter req;
+    req.i32(i * 100);
+    req.str("echo");
+    ASSERT_TRUE(w.send(req.frame()));
+    sp::Frame resp;
+    ASSERT_TRUE(w.recv(resp));
+    sp::FrameReader r(resp);
+    EXPECT_EQ(r.i32(), i * 100);
+    EXPECT_EQ(r.str(), "echo");
+  }
+  w.close_request();  // EOF: the loop exits cleanly
+  const int status = w.wait();
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  EXPECT_FALSE(w.running());
+}
+
+TEST(Subprocess, ExecWorkerServesStdinStdout) {
+  // /bin/cat copies stdin to stdout verbatim, so a frame round-trips
+  // through a genuinely exec'd process.
+  sp::Worker w = sp::Worker::spawn_exec({"/bin/cat"});
+  ASSERT_TRUE(w.valid());
+  sp::FrameWriter req;
+  req.str("through exec");
+  ASSERT_TRUE(w.send(req.frame()));
+  sp::Frame resp;
+  ASSERT_TRUE(w.recv(resp));
+  sp::FrameReader r(resp);
+  EXPECT_EQ(r.str(), "through exec");
+  w.close_request();
+  const int status = w.wait();
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+TEST(Subprocess, CrashIsDetectedAndSendRecvFail) {
+  sp::Worker w = sp::Worker::spawn([](int request_fd, int) {
+    sp::Frame frame;
+    while (sp::read_frame(request_fd, frame)) {
+    }  // never responds
+    return 0;
+  });
+  ASSERT_TRUE(w.running());
+  w.kill_now();
+  const int status = w.wait();
+  EXPECT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGKILL);
+  EXPECT_FALSE(w.running());
+  // A dead peer is an errno-level condition, never a SIGPIPE: send
+  // reports false and recv sees EOF.
+  sp::FrameWriter req;
+  req.u8(1);
+  EXPECT_FALSE(w.send(req.frame()));
+  sp::Frame resp;
+  EXPECT_FALSE(w.recv(resp));
+}
+
+TEST(Subprocess, PoolRespawnsDeadWorkers) {
+  std::atomic<int> spawned{0};
+  sp::WorkerPool pool(2, [&spawned] {
+    ++spawned;
+    return sp::Worker::spawn([](int request_fd, int response_fd) {
+      sp::Frame frame;
+      while (sp::read_frame(request_fd, frame)) {
+        if (!sp::write_frame(response_fd, frame)) return 1;
+      }
+      return 0;
+    });
+  });
+  EXPECT_EQ(pool.size(), 2u);
+  pool.ensure_full();
+  EXPECT_EQ(spawned.load(), 2);
+  pool.ensure_full();  // everyone alive: no new spawns
+  EXPECT_EQ(spawned.load(), 2);
+
+  pool.at(0).kill_now();
+  pool.at(0).wait();
+  pool.ensure_full();
+  EXPECT_EQ(spawned.load(), 3);
+  EXPECT_TRUE(pool.at(0).running());
+  EXPECT_TRUE(pool.at(1).running());
+
+  pool.respawn(1);
+  EXPECT_EQ(spawned.load(), 4);
+  EXPECT_TRUE(pool.at(1).running());
+}
+
+TEST(SubprocessParallel, WorkersServeConcurrentThreads) {
+  // Four threads, each owning a fork-entry echo worker spawned while the
+  // parent's thread pool is live: exercises the fork-in-threaded-process
+  // path under TSan and proves channel isolation between workers.
+  ThreadCountGuard guard(4);
+  std::atomic<int> failures{0};
+  par::parallel_for(4, [&](size_t t) {
+    sp::Worker w = sp::Worker::spawn([](int request_fd, int response_fd) {
+      par::pin_inline();  // a forked child must never touch the parent pool
+      sp::Frame frame;
+      while (sp::read_frame(request_fd, frame)) {
+        sp::FrameReader r(frame);
+        sp::FrameWriter out;
+        out.u64(r.u64() * 2);
+        if (!sp::write_frame(response_fd, out.frame())) return 1;
+      }
+      return 0;
+    });
+    for (uint64_t i = 0; i < 16; ++i) {
+      sp::FrameWriter req;
+      req.u64(t * 1000 + i);
+      if (!w.send(req.frame())) {
+        ++failures;
+        return;
+      }
+      sp::Frame resp;
+      if (!w.recv(resp)) {
+        ++failures;
+        return;
+      }
+      sp::FrameReader r(resp);
+      if (r.u64() != (t * 1000 + i) * 2) ++failures;
+    }
+    w.close_request();
+    w.wait();
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace

@@ -112,6 +112,40 @@ TEST(TableService, LruEvictsLeastRecentlyUsed) {
   EXPECT_EQ(st.misses, 4u);
 }
 
+TEST(TableService, ResidentBytesStayWithinBudgetUnderReplayLoad) {
+  // Zipf-ish replay over far more variants than fit: the pool must churn
+  // (evictions) while the resident high-water gauge never crosses the
+  // configured budget — the bench's LRU contract, in miniature.
+  const size_t capacity = 8 * 1024;  // ~6 synthetic tables
+  SyntheticService s(capacity);
+  uint64_t lcg = 0x9e3779b97f4a7c15ull;
+  for (int q = 0; q < 5000; ++q) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    // Skewed variant choice: low ids dominate, tail ids churn the LRU.
+    const int variant = static_cast<int>((lcg >> 33) % 64) / ((q % 3) + 1);
+    s.svc->query(synth_request(variant));
+    const TableService::Stats st = s.svc->stats();
+    ASSERT_LE(st.bytes, capacity) << "resident bytes exceeded the budget at query " << q;
+  }
+  const TableService::Stats st = s.svc->stats();
+  EXPECT_GT(st.evictions, 0u);
+  EXPECT_GT(st.hits, 0u);
+  EXPECT_LE(st.peak_bytes, capacity);
+  EXPECT_GE(st.peak_bytes, st.bytes);  // the gauge is a high-water mark
+}
+
+TEST(TableService, PeakBytesTracksHighWaterAcrossClear) {
+  SyntheticService s(1 << 20);
+  s.svc->query(synth_request(9));
+  s.svc->query(synth_request(12));
+  const size_t resident = s.svc->stats().bytes;
+  EXPECT_EQ(s.svc->stats().peak_bytes, resident);
+  s.svc->clear();
+  const TableService::Stats st = s.svc->stats();
+  EXPECT_EQ(st.bytes, 0u);
+  EXPECT_EQ(st.peak_bytes, resident);  // clear() drops residency, not history
+}
+
 TEST(TableService, OversizedEntryIsStillPooled) {
   // A single table above the budget must not evict itself: the newest
   // entry is always retained, so repeated queries still hit.

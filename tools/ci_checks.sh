@@ -7,7 +7,8 @@
 #   checks-off  Release build with GNRFET_CHECKS=OFF (contracts compiled out):
 #               the tier-1 suite must still pass without the contract layer
 #   trace     fast suite under GNRFET_TRACE: the emitted Chrome trace JSON
-#             must parse and summarize through gnrfet_trace_report
+#             must parse and summarize through gnrfet_trace_report, and the
+#             --json rollup must report spans from every core subsystem
 #   perf-smoke  Poisson PCG microbench on a reduced grid (and its 2x
 #               refinement) under every preconditioner; asserts IC(0) needs
 #               fewer total iterations than Jacobi, multigrid fewer than
@@ -17,7 +18,11 @@
 #               NEGF grid bench: the adaptive energy grid must do at most
 #               half the uniform RGF solves at <= 1e-4 relative current
 #               error, and the uniform grid must be bit-identical across
-#               GNRFET_THREADS=1 and 4.
+#               GNRFET_THREADS=1 and 4. Finally the sharded table-generation
+#               bench: bit-identical tables across {workers 1,4} x
+#               {GNRFET_THREADS 1,4}, >= 1.5x sharded speedup at 4 workers
+#               (multi-core hosts only), and the Zipf replay's warm rate
+#               >= 100x its cold generation rate inside the LRU byte budget.
 #   analyze   gnrfet_lint repo rules + the gnrfet_analyze passes: layering
 #             DAG, determinism rules, contract-coverage baseline
 #   thread-safety  clang -Wthread-safety -Werror=thread-safety build over the
@@ -92,9 +97,15 @@ for stage in "${STAGES[@]}"; do
       GNRFET_TRACE="$TRACE_JSON" "$ROOT/build-ci-trace/tests/gnrfet_tests" \
         --gtest_filter='SelfConsistent.*:Dc.*:Transient.*'
       test -s "$TRACE_JSON" || { echo "trace stage: no trace written" >&2; exit 1; }
+      # Subsystem coverage is asserted against the report tool's --json
+      # rollup (one machine-readable object) instead of grepping the raw
+      # Chrome trace: the gate now also proves the aggregation pipeline.
+      REPORT_JSON="$ROOT/build-ci-trace/ci_trace_report.json"
+      "$ROOT/build-ci-trace/tools/gnrfet_trace_report" --json "$TRACE_JSON" >"$REPORT_JSON"
+      test -s "$REPORT_JSON" || { echo "trace stage: --json produced no output" >&2; exit 1; }
       for cat in negf poisson device circuit linalg; do
-        grep -q "\"cat\":\"$cat\"" "$TRACE_JSON" ||
-          { echo "trace stage: no spans from subsystem '$cat'" >&2; exit 1; }
+        grep -q "\"subsystem\":\"$cat\"" "$REPORT_JSON" ||
+          { echo "trace stage: no spans from subsystem '$cat' in --json rollup" >&2; exit 1; }
       done
       "$ROOT/build-ci-trace/tools/gnrfet_trace_report" "$TRACE_JSON"
       ;;
@@ -104,8 +115,9 @@ for stage in "${STAGES[@]}"; do
       # full-scale numbers live in EXPERIMENTS.md. The TSan coverage of
       # the concurrent PoissonSolver and multigrid paths rides in the tsan
       # stage above (its -R 'Parallel' filter picks up
-      # PoissonSolverParallel.*, MultigridParallel.*, and
-      # TablegenWarmBiasParallel.*).
+      # PoissonSolverParallel.*, MultigridParallel.*,
+      # TablegenWarmBiasParallel.*, SubprocessParallel.*, and
+      # TableShardParallel.*).
       DIR="$ROOT/build-ci-perf"
       mkdir -p "$DIR"
       cmake -B "$DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >"$DIR/configure.log" 2>&1 ||
@@ -285,6 +297,66 @@ for stage in "${STAGES[@]}"; do
                "($TH_ON vs $TH_ON4)" >&2; exit 1; }
       awk -v s="$RGF_SPEED" 'BEGIN { exit (s >= 1.5) ? 0 : 1 }' ||
         { echo "perf-smoke: batched RGF speedup $RGF_SPEED below 1.5x" >&2; exit 1; }
+
+      # Sharded table-generation smoke. Hash matrix: the cross-process
+      # scheduler must assemble the exact bits of the in-process path for
+      # every {workers 1,4} x {GNRFET_THREADS 1,4} combination (8 hashes,
+      # all equal). The >= 1.5x speedup gate only runs where parallel
+      # hardware exists; the bit-identity gates always run.
+      cmake --build "$DIR" -j "$JOBS" --target bench_table_load
+      load_field() {  # $1 = dir suffix, $2 = field name (quoted-string value)
+        sed -n "s/.*\"$2\":\"\([0-9a-f]*\)\".*/\1/p" \
+          "$DIR/bench_load_$1/bench_out/BENCH_tableload.json"
+      }
+      LOAD_HASHES=""
+      for w in 1 4; do
+        for t in 1 4; do
+          (cd "$DIR" && rm -rf "bench_load_w${w}_t${t}" && mkdir -p "bench_load_w${w}_t${t}" &&
+            cd "bench_load_w${w}_t${t}" && GNRFET_THREADS=$t GNRFET_BENCH_LOAD_WORKERS=$w \
+            GNRFET_BENCH_LOAD_QUERIES=0 ../bench/bench_table_load >/dev/null)
+          HU="$(load_field "w${w}_t${t}" unsharded_hash)"
+          HS="$(load_field "w${w}_t${t}" sharded_hash)"
+          [ -n "$HU" ] && [ -n "$HS" ] ||
+            { echo "perf-smoke: missing table hashes for workers=$w threads=$t" >&2; exit 1; }
+          LOAD_HASHES="$LOAD_HASHES $HU $HS"
+        done
+      done
+      LOAD_REF=""
+      for h in $LOAD_HASHES; do
+        [ -n "$LOAD_REF" ] || LOAD_REF="$h"
+        [ "$h" = "$LOAD_REF" ] ||
+          { echo "perf-smoke: table hash matrix mismatch:$LOAD_HASHES" >&2; exit 1; }
+      done
+      echo "perf-smoke: table bits identical across workers {1,4} x threads {1,4} ($LOAD_REF)"
+      if [ "$(nproc 2>/dev/null || echo 1)" -ge 4 ]; then
+        LOAD_SPEED="$(sed -n 's/.*"speedup":\([0-9.e+-]*\).*/\1/p' \
+          "$DIR/bench_load_w4_t1/bench_out/BENCH_tableload.json")"
+        echo "perf-smoke: sharded table generation ${LOAD_SPEED}x at 4 workers"
+        awk -v s="$LOAD_SPEED" 'BEGIN { exit (s >= 1.5) ? 0 : 1 }' ||
+          { echo "perf-smoke: sharded speedup $LOAD_SPEED below 1.5x at 4 workers" >&2; exit 1; }
+      else
+        echo "perf-smoke: fewer than 4 cores; skipping the sharded >=1.5x speedup gate"
+      fi
+
+      # Replay gate: the Zipf warm/cold mix must serve warm lookups at
+      # >= 100x the cold generation rate and the LRU must stay inside its
+      # byte budget (peak_bytes gauge; reduced query count for CI).
+      (cd "$DIR" && rm -rf bench_load_replay && mkdir -p bench_load_replay &&
+        cd bench_load_replay && GNRFET_BENCH_LOAD_QUERIES=200000 ../bench/bench_table_load)
+      LOAD_JSON="$DIR/bench_load_replay/bench_out/BENCH_tableload.json"
+      replay_field() {
+        sed -n "s/.*\"phase\":\"replay\".*\"$1\":\([0-9.e+-]*\).*/\1/p" "$LOAD_JSON"
+      }
+      LOAD_WARM="$(replay_field warm_rate_per_s)"
+      LOAD_COLD="$(replay_field cold_gen_per_s)"
+      LOAD_LRU_OK="$(replay_field lru_ok)"
+      [ -n "$LOAD_WARM" ] && [ -n "$LOAD_COLD" ] && [ -n "$LOAD_LRU_OK" ] ||
+        { echo "perf-smoke: missing replay record in $LOAD_JSON" >&2; exit 1; }
+      echo "perf-smoke: replay warm rate $LOAD_WARM /s, cold gen rate $LOAD_COLD /s"
+      awk -v w="$LOAD_WARM" -v c="$LOAD_COLD" 'BEGIN { exit (w >= 100 * c) ? 0 : 1 }' ||
+        { echo "perf-smoke: warm rate $LOAD_WARM not >= 100x cold rate $LOAD_COLD" >&2; exit 1; }
+      [ "$LOAD_LRU_OK" = "1" ] ||
+        { echo "perf-smoke: replay LRU exceeded its byte budget" >&2; exit 1; }
       ;;
     analyze)
       banner "static analysis: repo lint + layering/determinism/contract passes"

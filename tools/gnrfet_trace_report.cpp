@@ -5,7 +5,12 @@
 // then a per-subsystem rollup of self time, the metrics counters, and the
 // metrics histograms embedded in the file.
 //
-// Usage: gnrfet_trace_report <trace.json>   (exit 0 = ok, 1 = bad input)
+// Usage: gnrfet_trace_report [--json] <trace.json>
+//        (exit 0 = ok, 1 = bad input)
+//
+// --json replaces the human tables with one machine-readable JSON object
+// on stdout — {spans, subsystem_self_ms, counters, histograms} — so CI
+// stages assert on fields instead of grepping formatted text.
 
 #include <algorithm>
 #include <cmath>
@@ -257,16 +262,44 @@ std::string fmt_ms(double us) {
   return os.str();
 }
 
+/// JSON string escaping for the names we re-emit (subsystem/span/counter
+/// identifiers; quotes and backslashes are the only realistic hazards).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::cerr << "usage: gnrfet_trace_report <trace.json>\n";
+  bool emit_json = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      emit_json = true;
+    } else if (!path) {
+      path = argv[i];
+    } else {
+      path = nullptr;
+      break;
+    }
+  }
+  if (!path) {
+    std::cerr << "usage: gnrfet_trace_report [--json] <trace.json>\n";
     return 1;
   }
-  std::ifstream in(argv[1], std::ios::binary);
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
-    std::cerr << "gnrfet_trace_report: cannot open " << argv[1] << "\n";
+    std::cerr << "gnrfet_trace_report: cannot open " << path << "\n";
     return 1;
   }
   std::stringstream ss;
@@ -276,7 +309,7 @@ int main(int argc, char** argv) {
   Value root;
   Parser parser(text);
   if (!parser.parse(root) || root.kind != Value::Kind::kObject) {
-    std::cerr << "gnrfet_trace_report: " << argv[1] << ": JSON parse error near byte "
+    std::cerr << "gnrfet_trace_report: " << path << ": JSON parse error near byte "
               << parser.error_pos() << "\n";
     return 1;
   }
@@ -311,6 +344,61 @@ int main(int argc, char** argv) {
     s.min_us = std::min(s.min_us, e.dur);
     s.max_us = std::max(s.max_us, e.dur);
     subsystem_self_us[e.cat] += e.self;
+  }
+
+  if (emit_json) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "{\"trace\":\"" << json_escape(path) << "\",\"span_count\":" << events.size();
+    os << ",\"spans\":[";
+    bool first = true;
+    for (const auto& [key, s] : spans) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"subsystem\":\"" << json_escape(key.first) << "\",\"span\":\""
+         << json_escape(key.second) << "\",\"count\":" << s.count
+         << ",\"total_ms\":" << s.total_us / 1000.0 << ",\"self_ms\":" << s.self_us / 1000.0
+         << ",\"mean_us\":" << s.total_us / static_cast<double>(s.count)
+         << ",\"max_us\":" << s.max_us << "}";
+    }
+    os << "],\"subsystem_self_ms\":{";
+    first = true;
+    for (const auto& [cat, self_us] : subsystem_self_us) {
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << json_escape(cat) << "\":" << self_us / 1000.0;
+    }
+    os << "},\"counters\":{";
+    first = true;
+    if (const Value* counters = root.find("gnrfetCounters");
+        counters && counters->kind == Value::Kind::kObject) {
+      for (const auto& [name, v] : counters->object) {
+        if (!first) os << ",";
+        first = false;
+        os << "\"" << json_escape(name) << "\":" << static_cast<uint64_t>(v.number);
+      }
+    }
+    os << "},\"histograms\":{";
+    first = true;
+    if (const Value* hists = root.find("gnrfetHistograms");
+        hists && hists->kind == Value::Kind::kObject) {
+      for (const auto& [name, h] : hists->object) {
+        const Value* count = h.find("count");
+        if (!count) continue;
+        const Value* sum = h.find("sum");
+        const Value* min = h.find("min");
+        const Value* max = h.find("max");
+        if (!first) os << ",";
+        first = false;
+        os << "\"" << json_escape(name) << "\":{\"count\":"
+           << static_cast<uint64_t>(count->number) << ",\"sum\":" << (sum ? sum->number : 0.0)
+           << ",\"min\":" << (min ? min->number : 0.0)
+           << ",\"max\":" << (max ? max->number : 0.0) << "}";
+      }
+    }
+    os << "}}";
+    std::cout << os.str() << "\n";
+    return 0;
   }
 
   // Column widths follow the data: std::setw is a minimum, so a span,
